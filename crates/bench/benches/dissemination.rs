@@ -1,0 +1,39 @@
+//! Wall-clock benchmark of the dissemination simulator itself: one full
+//! epidemic run per scheme at a small scale. This is a smoke-level benchmark
+//! that keeps the Figure 7 harness honest (a regression here makes the figure
+//! binaries unusably slow at paper scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltnc_sim::{Engine, SchemeKind, SimConfig};
+
+fn config(scheme: SchemeKind) -> SimConfig {
+    let mut c = SimConfig::quick(scheme);
+    c.nodes = 40;
+    c.code_length = 24;
+    c.max_periods = 6_000;
+    c
+}
+
+fn bench_dissemination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dissemination_run");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for scheme in SchemeKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |bench, &scheme| {
+                bench.iter(|| {
+                    let report = Engine::new(config(scheme)).run();
+                    assert!(report.content_verified);
+                    std::hint::black_box(report.completed_nodes)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dissemination);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Wall-clock benchmarks of the GF(2) primitives every scheme is built on:
+//! code-vector XOR/popcount (control plane) and payload XOR (data plane).
+//! These are the unit costs behind the cost model of `ltnc-metrics`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ltnc_gf2::{CodeVector, Payload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_vector(k: usize, density: f64, rng: &mut SmallRng) -> CodeVector {
+    let mut v = CodeVector::zero(k);
+    for i in 0..k {
+        if rng.gen_bool(density) {
+            v.set(i);
+        }
+    }
+    v
+}
+
+fn bench_vector_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("code_vector");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[512usize, 2048, 4096] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = random_vector(k, 0.3, &mut rng);
+        let b = random_vector(k, 0.3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("xor_degree", k), &k, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.xor_degree(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("xor_assign", k), &k, |bench, _| {
+            bench.iter(|| {
+                let mut x = a.clone();
+                x.xor_assign(&b);
+                std::hint::black_box(x.degree())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("degree", k), &k, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.degree()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_payload_xor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("payload_xor");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &m in &[1024usize, 64 * 1024, 256 * 1024] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut bytes = vec![0u8; m];
+        rng.fill(&mut bytes[..]);
+        let a = Payload::from_vec(bytes.clone());
+        bytes.reverse();
+        let b = Payload::from_vec(bytes);
+        group.throughput(Throughput::Bytes(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut x = a.clone();
+                x.xor_assign(&b);
+                std::hint::black_box(x.as_bytes()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vector_ops, bench_payload_xor);
+criterion_main!(benches);

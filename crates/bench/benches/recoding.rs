@@ -1,0 +1,82 @@
+//! Figure 8a/8c (wall-clock counterpart): time to recode one fresh packet for
+//! LTNC (pick + build + refine) and RLNC (sparse random combination), as a
+//! function of the code length.
+//!
+//! Expected shape: LTNC's control work per packet is higher than RLNC's (the
+//! price of preserving the LT structure), while its data work is lower because
+//! the packets it combines have lower degree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltnc_core::{LtncConfig, LtncNode};
+use ltnc_gf2::{EncodedPacket, Payload};
+use ltnc_rlnc::RlncNode;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const PAYLOAD: usize = 1024;
+
+fn natives(k: usize, rng: &mut SmallRng) -> Vec<Payload> {
+    (0..k)
+        .map(|_| {
+            let mut bytes = vec![0u8; PAYLOAD];
+            rng.fill(&mut bytes[..]);
+            Payload::from_vec(bytes)
+        })
+        .collect()
+}
+
+/// An LTNC node holding roughly half of the content as encoded packets — the
+/// partial-knowledge regime intermediary nodes recode in.
+fn partial_ltnc_node(k: usize, seed: u64) -> LtncNode {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nat = natives(k, &mut rng);
+    let mut source = LtncNode::with_all_natives(k, PAYLOAD, &nat, LtncConfig::default());
+    let mut node = LtncNode::new(k, PAYLOAD);
+    for _ in 0..k {
+        if let Some(p) = source.recode(&mut rng) {
+            node.receive(&p);
+        }
+    }
+    node
+}
+
+fn partial_rlnc_node(k: usize, seed: u64) -> RlncNode {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nat = natives(k, &mut rng);
+    let mut source = RlncNode::new(k, PAYLOAD);
+    for (i, p) in nat.iter().enumerate() {
+        source.receive(&EncodedPacket::native(k, i, p.clone()));
+    }
+    let mut node = RlncNode::new(k, PAYLOAD);
+    for _ in 0..k {
+        let p = source.recode(&mut rng).unwrap();
+        node.receive(&p);
+    }
+    node
+}
+
+fn bench_recoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recode_one_packet");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[256usize, 512, 1024] {
+        let ltnc = partial_ltnc_node(k, 11);
+        group.bench_with_input(BenchmarkId::new("LTNC", k), &k, |bench, _| {
+            let mut rng = SmallRng::seed_from_u64(13);
+            let mut node = ltnc.clone();
+            bench.iter(|| std::hint::black_box(node.recode(&mut rng)))
+        });
+
+        let rlnc = partial_rlnc_node(k, 11);
+        group.bench_with_input(BenchmarkId::new("RLNC", k), &k, |bench, _| {
+            let mut rng = SmallRng::seed_from_u64(13);
+            let mut node = rlnc.clone();
+            bench.iter(|| std::hint::black_box(node.recode(&mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recoding);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Wall-clock benchmarks of the Robust Soliton distribution: construction
+//! (done once per node) and sampling (done once per recoded packet), across
+//! the code lengths of the paper's sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltnc_lt::{DegreeDistribution, RobustSoliton};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soliton_construction");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[512usize, 2048, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
+            bench.iter(|| std::hint::black_box(RobustSoliton::for_code_length(k).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soliton_sampling");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[512usize, 2048, 4096] {
+        let dist = RobustSoliton::for_code_length(k).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| std::hint::black_box(dist.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_sampling);
+criterion_main!(benches);

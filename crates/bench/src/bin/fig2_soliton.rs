@@ -1,0 +1,45 @@
+//! Figure 2: the Robust Soliton distribution — optimal distribution of degrees
+//! for encoded packets.
+//!
+//! Prints the pmf of the Robust Soliton distribution for the paper's reference
+//! code length, both as a table over the low degrees (where most of the mass
+//! sits) and as a TSV series over every degree (log-log plottable), plus the
+//! aggregate properties the paper relies on: the mass on degrees ≤ 2, the
+//! spike position `k/R` and the mean degree (`O(log k)`).
+
+use ltnc_bench::{fmt_f, print_series, print_table, HarnessOptions};
+use ltnc_lt::{DegreeDistribution, RobustSoliton};
+use ltnc_metrics::TimeSeries;
+
+fn main() {
+    let options = HarnessOptions::from_env();
+    let k = if options.full { 2048 } else { 1000 };
+    let dist = RobustSoliton::for_code_length(k).expect("valid parameters");
+
+    println!("Figure 2 — Robust Soliton distribution (k = {k}, c = {}, delta = {})", dist.c(), dist.delta());
+
+    let rows: Vec<Vec<String>> = (1..=16)
+        .map(|d| vec![d.to_string(), format!("{:.6e}", dist.pmf(d))])
+        .collect();
+    print_table("Robust Soliton pmf (low degrees)", &["degree", "probability"], &rows);
+
+    let summary_rows = vec![
+        vec!["mass on degrees 1-2".to_string(), fmt_f(dist.low_degree_mass(), 4)],
+        vec!["mass on degrees 1-3".to_string(), fmt_f(dist.low_degree_mass() + dist.pmf(3), 4)],
+        vec!["spike degree (k/R)".to_string(), dist.spike_degree().to_string()],
+        vec!["spike probability".to_string(), format!("{:.6e}", dist.pmf(dist.spike_degree()))],
+        vec!["mean degree".to_string(), fmt_f(dist.mean_degree(), 3)],
+        vec!["ln k".to_string(), fmt_f((k as f64).ln(), 3)],
+        vec!["beta (overhead factor)".to_string(), fmt_f(dist.beta(), 4)],
+    ];
+    print_table("Aggregate properties", &["quantity", "value"], &summary_rows);
+
+    let mut series = TimeSeries::new(format!("robust_soliton_k{k}"));
+    for d in 1..=k {
+        let p = dist.pmf(d);
+        if p > 0.0 {
+            series.push(d as f64, p);
+        }
+    }
+    print_series("Figure 2 data (degree vs probability, log-log)", &[&series]);
+}

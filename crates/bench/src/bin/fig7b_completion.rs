@@ -1,0 +1,76 @@
+//! Figure 7b: average time to complete as a function of the code length `k`
+//! (paper sweep: 512 → 4096), for WC, LTNC and RLNC.
+//!
+//! Expected shape (paper): for every `k`, RLNC < LTNC < WC, and the relative
+//! gap between LTNC and RLNC shrinks as `k` grows.
+
+use ltnc_bench::{code_length_sweep, fmt_f, print_series, print_table, HarnessOptions};
+use ltnc_metrics::TimeSeries;
+use ltnc_sim::{Engine, SchemeKind, SimConfig};
+
+fn config(options: &HarnessOptions, scheme: SchemeKind, k: usize, seed: u64) -> SimConfig {
+    let mut c = if options.full {
+        SimConfig::paper_reference(scheme)
+    } else {
+        let mut c = SimConfig::quick(scheme);
+        c.nodes = 80;
+        c.max_periods = 40_000;
+        c
+    };
+    c.code_length = k;
+    c.seed = seed;
+    c
+}
+
+fn main() {
+    let options = HarnessOptions::from_env();
+    let sweep = code_length_sweep(options.full);
+    println!("Figure 7b — average time to complete vs code length");
+    println!(
+        "mode: {} | k sweep: {:?} | runs: {}",
+        if options.full { "full" } else { "quick" },
+        sweep,
+        options.runs
+    );
+
+    let mut series: Vec<TimeSeries> = SchemeKind::ALL
+        .iter()
+        .map(|s| TimeSeries::new(s.label()))
+        .collect();
+    let mut rows = Vec::new();
+    for &k in &sweep {
+        let mut row = vec![k.to_string()];
+        for (i, &scheme) in SchemeKind::ALL.iter().enumerate() {
+            let mut avg = 0.0;
+            for run in 0..options.runs {
+                let report = Engine::new(config(&options, scheme, k, options.seed + run as u64)).run();
+                avg += report.avg_time_to_complete;
+            }
+            avg /= options.runs as f64;
+            series[i].push(k as f64, avg);
+            row.push(fmt_f(avg, 1));
+        }
+        rows.push(row);
+    }
+
+    let headers: Vec<&str> = std::iter::once("k")
+        .chain(SchemeKind::ALL.iter().map(|s| s.label()))
+        .collect();
+    print_table("Average time to complete (gossip periods)", &headers, &rows);
+
+    // Relative overhead of LTNC vs RLNC (the paper reports ≈ +30 % that
+    // decreases with k).
+    let mut ratio_rows = Vec::new();
+    for &k in &sweep {
+        let ltnc = series[1].y_at(k as f64).unwrap_or(f64::NAN);
+        let rlnc = series[2].y_at(k as f64).unwrap_or(f64::NAN);
+        ratio_rows.push(vec![
+            k.to_string(),
+            fmt_f((ltnc / rlnc - 1.0) * 100.0, 1),
+        ]);
+    }
+    print_table("LTNC completion-time overhead vs RLNC (%)", &["k", "overhead %"], &ratio_rows);
+
+    let refs: Vec<&TimeSeries> = series.iter().collect();
+    print_series("Figure 7b data (k vs average time to complete)", &refs);
+}

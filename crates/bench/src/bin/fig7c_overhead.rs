@@ -1,0 +1,75 @@
+//! Figure 7c: communication overhead of LTNC as a function of the code length.
+//!
+//! Overhead counts the payloads delivered beyond the `N · k` necessary ones:
+//! LTNC's cheap redundancy detection (degree ≤ 3) lets some non-innovative
+//! packets through the feedback channel, so their payloads are transferred for
+//! nothing. WC and RLNC have an exact check, hence zero overhead — the paper
+//! only plots LTNC and we print all three as a sanity check.
+//!
+//! Expected shape (paper): ≈ 20 % at k = 2048, decreasing with k.
+
+use ltnc_bench::{code_length_sweep, fmt_f, print_series, print_table, HarnessOptions};
+use ltnc_metrics::TimeSeries;
+use ltnc_sim::{Engine, SchemeKind, SimConfig};
+
+fn config(options: &HarnessOptions, scheme: SchemeKind, k: usize, seed: u64) -> SimConfig {
+    let mut c = if options.full {
+        SimConfig::paper_reference(scheme)
+    } else {
+        let mut c = SimConfig::quick(scheme);
+        c.nodes = 80;
+        c.max_periods = 40_000;
+        c
+    };
+    c.code_length = k;
+    c.seed = seed;
+    c
+}
+
+fn main() {
+    let options = HarnessOptions::from_env();
+    let sweep = code_length_sweep(options.full);
+    println!("Figure 7c — communication overhead vs code length");
+    println!(
+        "mode: {} | k sweep: {:?} | runs: {}",
+        if options.full { "full" } else { "quick" },
+        sweep,
+        options.runs
+    );
+
+    let mut ltnc_series = TimeSeries::new("LTNC");
+    let mut rows = Vec::new();
+    for &k in &sweep {
+        let mut row = vec![k.to_string()];
+        for &scheme in &SchemeKind::ALL {
+            let mut overhead = 0.0;
+            let mut aborted = 0u64;
+            let mut delivered = 0u64;
+            for run in 0..options.runs {
+                let report = Engine::new(config(&options, scheme, k, options.seed + run as u64)).run();
+                overhead += report.overhead_percent();
+                aborted += report.transfers_aborted;
+                delivered += report.payloads_delivered;
+            }
+            overhead /= options.runs as f64;
+            if scheme == SchemeKind::Ltnc {
+                ltnc_series.push(k as f64, overhead);
+                row.push(fmt_f(overhead, 1));
+                row.push(fmt_f(
+                    100.0 * aborted as f64 / (aborted + delivered).max(1) as f64,
+                    1,
+                ));
+            } else {
+                row.push(fmt_f(overhead, 1));
+            }
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "Communication overhead (%)",
+        &["k", "WC", "LTNC", "LTNC aborted %", "RLNC"],
+        &rows,
+    );
+    print_series("Figure 7c data (k vs LTNC overhead %)", &[&ltnc_series]);
+}

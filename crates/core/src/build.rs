@@ -1,0 +1,222 @@
+use ltnc_gf2::{CodeVector, EncodedPacket, Payload};
+use ltnc_lt::PacketId;
+use ltnc_metrics::OpKind;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::LtncNode;
+
+/// A packet the build step may combine: either a buffered encoded packet or a
+/// decoded native (which plays the role of a degree-1 encoded packet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Candidate {
+    Buffered(PacketId),
+    Native(usize),
+}
+
+impl LtncNode {
+    /// Algorithm 1 of the paper: greedily builds a fresh encoded packet of
+    /// degree at most `target`, examining available packets by decreasing
+    /// degree starting from `target` and skipping any candidate whose
+    /// inclusion would not increase the degree or would overshoot it
+    /// (collision avoidance).
+    pub(crate) fn build_packet<R: Rng + ?Sized>(&mut self, target: usize, rng: &mut R) -> EncodedPacket {
+        let mut vector = CodeVector::zero(self.k);
+        let mut payload = Payload::zero(self.payload_size);
+
+        let mut degree = target.min(self.degree_index.max_degree().unwrap_or(1)).max(1);
+        let mut candidates = self.candidates_of_degree(degree, target);
+        candidates.shuffle(rng);
+
+        while vector.degree() < target && degree > 0 {
+            let Some(candidate) = candidates.pop() else {
+                // Bucket exhausted: move to the next lower degree.
+                degree -= 1;
+                if degree == 0 {
+                    break;
+                }
+                candidates = self.candidates_of_degree(degree, target);
+                candidates.shuffle(rng);
+                continue;
+            };
+            self.recode_counters.incr(OpKind::BuildCandidate);
+            let (cand_vector, cand_payload) = match candidate {
+                Candidate::Buffered(id) => {
+                    let Some((v, p)) = self.decoder.graph().packet(id) else {
+                        continue;
+                    };
+                    (v.clone(), p.clone())
+                }
+                Candidate::Native(x) => (
+                    CodeVector::singleton(self.k, x),
+                    self.decoder.native(x).expect("decoded native").clone(),
+                ),
+            };
+            let combined_degree = vector.xor_degree(&cand_vector);
+            if vector.degree() < combined_degree && combined_degree <= target {
+                vector.xor_assign(&cand_vector);
+                payload.xor_assign(&cand_payload);
+                self.recode_counters.incr(OpKind::VectorXor);
+                self.recode_counters.incr(OpKind::PayloadXor);
+            }
+        }
+        EncodedPacket::new(vector, payload)
+    }
+
+    /// The candidates of exactly the given degree: buffered packets from the
+    /// degree index, or the decoded natives when `degree == 1`. Degrees above
+    /// `target` are never requested by the caller; the parameter is only used
+    /// for the initial clamp.
+    fn candidates_of_degree(&self, degree: usize, _target: usize) -> Vec<Candidate> {
+        if degree == 1 {
+            self.cc
+                .decoded_members()
+                .iter()
+                .map(|&x| Candidate::Native(x))
+                .collect()
+        } else {
+            self.degree_index
+                .bucket(degree)
+                .iter()
+                .map(|&id| Candidate::Buffered(id))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LtncConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn natives(k: usize, m: usize) -> Vec<Payload> {
+        (0..k)
+            .map(|i| Payload::from_vec((0..m).map(|j| (i * 5 + j + 1) as u8).collect()))
+            .collect()
+    }
+
+    fn packet(k: usize, indices: &[usize], nat: &[Payload]) -> EncodedPacket {
+        let mut payload = Payload::zero(nat[0].len());
+        for &i in indices {
+            payload.xor_assign(&nat[i]);
+        }
+        EncodedPacket::new(CodeVector::from_indices(k, indices), payload)
+    }
+
+    /// Checks the fundamental invariant: the payload of a built packet always
+    /// equals the XOR of the natives named by its code vector.
+    fn assert_consistent(p: &EncodedPacket, nat: &[Payload]) {
+        let mut expected = Payload::zero(nat[0].len());
+        for i in p.vector().iter_ones() {
+            expected.xor_assign(&nat[i]);
+        }
+        assert_eq!(p.payload(), &expected, "payload does not match code vector");
+    }
+
+    #[test]
+    fn builds_exact_degree_from_full_knowledge() {
+        let k = 32;
+        let m = 4;
+        let nat = natives(k, m);
+        let mut node = LtncNode::with_all_natives(k, m, &nat, LtncConfig::default());
+        let mut rng = SmallRng::seed_from_u64(5);
+        for target in 1..=10 {
+            let p = node.build_packet(target, &mut rng);
+            assert_eq!(p.degree(), target, "target {target}");
+            assert_consistent(&p, &nat);
+        }
+    }
+
+    #[test]
+    fn paper_figure4_example_reaches_degree_five() {
+        // Figure 4: k = 7, the node holds x6 (decoded) and encoded packets
+        // y1 = x1⊕x2, y2 = x3⊕x4⊕x5, y3 = x1⊕x2⊕x4⊕x5⊕x6⊕x7 (degree 6),
+        // y4 = x3⊕x5, y5 = x3⊕x4⊕x5 — wait, the figure's exact contents are:
+        // degree buckets: 1 → {x6}, 2 → {y2, y4, y6}, 3 → {y1, y5}, 6 → {y3}.
+        // We reproduce the *shape*: a degree-5 build must be possible from the
+        // degree-2/3 packets without using the degree-6 one.
+        let k = 7;
+        let m = 2;
+        let nat = natives(k, m);
+        let mut node = LtncNode::new(k, m);
+        node.receive(&packet(k, &[5], &nat)); // x6 decoded (0-based index 5)
+        node.receive(&packet(k, &[0, 1], &nat)); // degree 2
+        node.receive(&packet(k, &[2, 4], &nat)); // degree 2 (y4 = x3⊕x5)
+        node.receive(&packet(k, &[4, 6], &nat)); // degree 2 (y6 = x5⊕x7)
+        node.receive(&packet(k, &[1, 2, 3], &nat)); // degree 3
+        node.receive(&packet(k, &[2, 3, 4], &nat)); // degree 3 (y5)
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut reached = false;
+        for _ in 0..50 {
+            let p = node.build_packet(5, &mut rng);
+            assert!(p.degree() <= 5);
+            assert_consistent(&p, &nat);
+            if p.degree() == 5 {
+                reached = true;
+            }
+        }
+        assert!(reached, "a degree-5 packet should be buildable");
+    }
+
+    #[test]
+    fn built_packet_never_exceeds_target() {
+        let k = 16;
+        let m = 2;
+        let nat = natives(k, m);
+        let mut node = LtncNode::new(k, m);
+        let mut rng = SmallRng::seed_from_u64(23);
+        // Mixed bag of packets.
+        node.receive(&packet(k, &[0], &nat));
+        node.receive(&packet(k, &[1, 2], &nat));
+        node.receive(&packet(k, &[3, 4, 5], &nat));
+        node.receive(&packet(k, &[6, 7, 8, 9], &nat));
+        for target in 1..=8 {
+            for _ in 0..20 {
+                let p = node.build_packet(target, &mut rng);
+                assert!(p.degree() <= target, "degree {} > target {target}", p.degree());
+                assert_consistent(&p, &nat);
+            }
+        }
+    }
+
+    #[test]
+    fn collisions_are_avoided() {
+        // Only two packets are held: x0⊕x1 and x1⊕x2. Their sum has degree 2
+        // (a collision), so a greedy build of degree 4 must stop at degree 2 —
+        // adding the second packet would not increase the degree.
+        let k = 8;
+        let m = 2;
+        let nat = natives(k, m);
+        let mut node = LtncNode::new(k, m);
+        node.receive(&packet(k, &[0, 1], &nat));
+        node.receive(&packet(k, &[1, 2], &nat));
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let p = node.build_packet(4, &mut rng);
+            assert_eq!(p.degree(), 2, "collision must be avoided");
+            assert_consistent(&p, &nat);
+        }
+    }
+
+    #[test]
+    fn empty_node_builds_zero_packet() {
+        let mut node = LtncNode::new(8, 2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = node.build_packet(3, &mut rng);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn build_counts_candidate_examinations() {
+        let k = 8;
+        let m = 2;
+        let nat = natives(k, m);
+        let mut node = LtncNode::with_all_natives(k, m, &nat, LtncConfig::default());
+        let before = node.recoding_counters().get(OpKind::BuildCandidate);
+        let mut rng = SmallRng::seed_from_u64(2);
+        node.build_packet(3, &mut rng);
+        assert!(node.recoding_counters().get(OpKind::BuildCandidate) > before);
+    }
+}

@@ -1,0 +1,404 @@
+use std::collections::VecDeque;
+
+use ltnc_lt::PacketId;
+
+/// Label of the equivalence class of decoded native packets.
+pub const DECODED_CLASS: usize = 0;
+
+/// The connected components of native packets under the relation
+/// "`x ⊕ x'` can be generated using only decoded natives and degree-2 encoded
+/// packets" (second row of Table I, leader-based representation `cc` of the
+/// paper).
+///
+/// * Initially `cc(x_i) = i + 1` (every native is alone in its component).
+/// * When a native is decoded, its label becomes [`DECODED_CLASS`] (0).
+/// * When a degree-2 packet `x ⊕ x'` is received — or a buffered packet drops
+///   to degree 2 during belief propagation — the two components are merged.
+///
+/// Two natives are substitutable in the refinement step (Algorithm 2) exactly
+/// when their labels are equal. On top of the labels, the tracker keeps the
+/// member list of every component (to enumerate substitution candidates) and
+/// the degree-2 packets forming the component (to materialise the payload of
+/// `x ⊕ x'` by XOR-ing packets along a path between `x` and `x'`).
+#[derive(Debug, Clone)]
+pub struct ComponentTracker {
+    /// `labels[x]` is the component label of native `x` (0 = decoded).
+    labels: Vec<usize>,
+    /// `members[l]` lists the natives currently labelled `l`.
+    members: Vec<Vec<usize>>,
+    /// Adjacency over natives: for each native, `(neighbour, degree-2 packet id)`.
+    edges: Vec<Vec<(usize, PacketId)>>,
+    /// Number of label rewrites performed (the paper's merge is a relabel; this
+    /// is the control-plane work the cost model charges as index updates).
+    relabel_ops: u64,
+}
+
+impl ComponentTracker {
+    /// Creates the initial partition where every native is its own component.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        ComponentTracker {
+            labels: (1..=k).collect(),
+            members: {
+                let mut m = vec![Vec::new(); k + 1];
+                for (i, slot) in m.iter_mut().enumerate().skip(1) {
+                    slot.push(i - 1);
+                }
+                m
+            },
+            edges: vec![Vec::new(); k],
+            relabel_ops: 0,
+        }
+    }
+
+    /// Code length `k`.
+    #[must_use]
+    pub fn code_length(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The component label of native `x` (0 when decoded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= k`.
+    #[must_use]
+    pub fn label_of(&self, x: usize) -> usize {
+        self.labels[x]
+    }
+
+    /// A copy of the full label vector — this is what a receiver ships to the
+    /// sender over the feedback channel (`cc_r` in Algorithm 4).
+    #[must_use]
+    pub fn labels(&self) -> Vec<usize> {
+        self.labels.clone()
+    }
+
+    /// Returns `true` when `x` is in the decoded class.
+    #[must_use]
+    pub fn is_decoded(&self, x: usize) -> bool {
+        self.labels[x] == DECODED_CLASS
+    }
+
+    /// Returns `true` when `x ⊕ x'` can be generated from decoded natives and
+    /// degree-2 packets, i.e. the two natives are in the same component.
+    #[must_use]
+    pub fn same_component(&self, x: usize, y: usize) -> bool {
+        self.labels[x] == self.labels[y]
+    }
+
+    /// The natives currently sharing `x`'s component (including `x` itself).
+    #[must_use]
+    pub fn members_of(&self, x: usize) -> &[usize] {
+        &self.members[self.labels[x]]
+    }
+
+    /// The natives currently in the decoded class (label 0). These are the
+    /// degree-1 packets available to the build step (`S[1]` in the paper).
+    #[must_use]
+    pub fn decoded_members(&self) -> &[usize] {
+        &self.members[DECODED_CLASS]
+    }
+
+    /// Size of `x`'s component.
+    #[must_use]
+    pub fn component_size(&self, x: usize) -> usize {
+        self.members_of(x).len()
+    }
+
+    /// Number of distinct non-empty components (the decoded class counts as
+    /// one when non-empty).
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.members.iter().filter(|m| !m.is_empty()).count()
+    }
+
+    /// Cumulative number of label rewrites (control-plane cost).
+    #[must_use]
+    pub fn relabel_ops(&self) -> u64 {
+        self.relabel_ops
+    }
+
+    /// Moves native `x` to the decoded class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= k`.
+    pub fn mark_decoded(&mut self, x: usize) {
+        let old = self.labels[x];
+        if old == DECODED_CLASS {
+            return;
+        }
+        self.members[old].retain(|&m| m != x);
+        self.labels[x] = DECODED_CLASS;
+        self.members[DECODED_CLASS].push(x);
+        self.relabel_ops += 1;
+    }
+
+    /// Records the degree-2 packet `x ⊕ y` (id `packet`) and merges the two
+    /// components. Mirrors the update rule of Figure 5 in the paper: every
+    /// native labelled like `y` is relabelled like `x` (we relabel the smaller
+    /// component for efficiency — the resulting partition is identical).
+    ///
+    /// Returns `true` when the two natives were in different components (i.e.
+    /// the packet actually connected something).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range or `x == y`.
+    pub fn merge(&mut self, x: usize, y: usize, packet: PacketId) -> bool {
+        assert_ne!(x, y, "a degree-2 packet has two distinct natives");
+        self.edges[x].push((y, packet));
+        self.edges[y].push((x, packet));
+
+        let lx = self.labels[x];
+        let ly = self.labels[y];
+        if lx == ly {
+            return false;
+        }
+        // Keep the decoded class label if present, otherwise relabel the
+        // smaller component into the larger one.
+        let (keep, drop) = if lx == DECODED_CLASS {
+            (lx, ly)
+        } else if ly == DECODED_CLASS {
+            (ly, lx)
+        } else if self.members[lx].len() >= self.members[ly].len() {
+            (lx, ly)
+        } else {
+            (ly, lx)
+        };
+        let moved = std::mem::take(&mut self.members[drop]);
+        self.relabel_ops += moved.len() as u64;
+        for &m in &moved {
+            self.labels[m] = keep;
+        }
+        self.members[keep].extend(moved);
+        true
+    }
+
+    /// Finds a sequence of degree-2 packets whose XOR equals `x ⊕ y`
+    /// (intermediate natives telescope away). Returns `None` when `x` and `y`
+    /// are not connected by degree-2 packets — in particular when their
+    /// relation only holds because both are decoded, which the caller handles
+    /// by XOR-ing the two decoded payloads directly.
+    ///
+    /// `edge_alive` lets the caller skip packets that have since been consumed
+    /// by belief propagation.
+    #[must_use]
+    pub fn path_between<F>(&self, x: usize, y: usize, edge_alive: F) -> Option<Vec<PacketId>>
+    where
+        F: Fn(PacketId) -> bool,
+    {
+        if x == y {
+            return Some(Vec::new());
+        }
+        // BFS over the degree-2 edge graph.
+        let k = self.labels.len();
+        let mut prev: Vec<Option<(usize, PacketId)>> = vec![None; k];
+        let mut visited = vec![false; k];
+        visited[x] = true;
+        let mut queue = VecDeque::from([x]);
+        while let Some(cur) = queue.pop_front() {
+            for &(next, packet) in &self.edges[cur] {
+                if visited[next] || !edge_alive(packet) {
+                    continue;
+                }
+                visited[next] = true;
+                prev[next] = Some((cur, packet));
+                if next == y {
+                    // Reconstruct the path back to x.
+                    let mut path = Vec::new();
+                    let mut node = y;
+                    while let Some((parent, pkt)) = prev[node] {
+                        path.push(pkt);
+                        node = parent;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltnc_gf2::{CodeVector, Payload};
+    use ltnc_lt::TannerGraph;
+    use proptest::prelude::*;
+
+    fn pids(n: usize) -> Vec<PacketId> {
+        let mut g = TannerGraph::new(n + 2);
+        (0..n)
+            .map(|i| g.insert(CodeVector::from_indices(n + 2, &[i, i + 1]), Payload::zero(1)))
+            .collect()
+    }
+
+    #[test]
+    fn initial_partition_is_singletons() {
+        let cc = ComponentTracker::new(5);
+        assert_eq!(cc.code_length(), 5);
+        assert_eq!(cc.component_count(), 5);
+        for x in 0..5 {
+            assert_eq!(cc.label_of(x), x + 1);
+            assert_eq!(cc.members_of(x), &[x]);
+            assert!(!cc.is_decoded(x));
+            assert_eq!(cc.component_size(x), 1);
+        }
+        assert!(!cc.same_component(0, 1));
+        assert!(cc.same_component(2, 2));
+    }
+
+    #[test]
+    fn mark_decoded_moves_to_class_zero() {
+        let mut cc = ComponentTracker::new(4);
+        cc.mark_decoded(2);
+        assert!(cc.is_decoded(2));
+        assert_eq!(cc.label_of(2), DECODED_CLASS);
+        assert_eq!(cc.members_of(2), &[2]);
+        cc.mark_decoded(0);
+        assert!(cc.same_component(0, 2));
+        assert_eq!(cc.component_size(0), 2);
+        // Idempotent.
+        cc.mark_decoded(0);
+        assert_eq!(cc.component_size(0), 2);
+    }
+
+    #[test]
+    fn merge_joins_components() {
+        let ids = pids(3);
+        let mut cc = ComponentTracker::new(5);
+        assert!(cc.merge(0, 1, ids[0]));
+        assert!(cc.same_component(0, 1));
+        assert_eq!(cc.component_size(0), 2);
+        assert!(cc.merge(1, 2, ids[1]));
+        assert!(cc.same_component(0, 2));
+        assert_eq!(cc.component_size(2), 3);
+        // Merging within the same component is a no-op on the partition.
+        assert!(!cc.merge(0, 2, ids[2]));
+        assert_eq!(cc.component_size(0), 3);
+        assert_eq!(cc.component_count(), 3); // {0,1,2}, {3}, {4}
+    }
+
+    #[test]
+    fn paper_figure5_example() {
+        // Figure 5: components {x1}, {x2,x4}, {x3,x5,x7}, {x6 decoded};
+        // receiving x3 ⊕ x4 merges {x2,x4} and {x3,x5,x7}.
+        // 0-based: x1..x7 -> 0..6.
+        let ids = pids(6);
+        let mut cc = ComponentTracker::new(7);
+        cc.merge(1, 3, ids[0]); // x2 ⊕ x4
+        cc.merge(2, 4, ids[1]); // x3 ⊕ x5
+        cc.merge(4, 6, ids[2]); // x5 ⊕ x7
+        cc.mark_decoded(5); // x6 decoded
+        assert_eq!(cc.component_count(), 4);
+
+        cc.merge(2, 3, ids[3]); // receive x3 ⊕ x4
+        assert!(cc.same_component(1, 6)); // x2 ~ x7 now
+        assert_eq!(cc.component_size(1), 5);
+        assert_eq!(cc.component_count(), 3);
+        assert!(!cc.same_component(0, 1));
+        assert!(cc.is_decoded(5));
+    }
+
+    #[test]
+    fn merge_with_decoded_class_keeps_label_zero() {
+        let ids = pids(2);
+        let mut cc = ComponentTracker::new(4);
+        cc.mark_decoded(0);
+        cc.merge(0, 1, ids[0]);
+        assert_eq!(cc.label_of(1), DECODED_CLASS);
+        cc.merge(2, 1, ids[1]);
+        assert_eq!(cc.label_of(2), DECODED_CLASS);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct natives")]
+    fn merge_same_native_panics() {
+        let ids = pids(1);
+        let mut cc = ComponentTracker::new(4);
+        cc.merge(1, 1, ids[0]);
+    }
+
+    #[test]
+    fn path_between_follows_degree2_edges() {
+        let ids = pids(3);
+        let mut cc = ComponentTracker::new(5);
+        cc.merge(0, 1, ids[0]);
+        cc.merge(1, 2, ids[1]);
+        cc.merge(2, 3, ids[2]);
+        let path = cc.path_between(0, 3, |_| true).unwrap();
+        assert_eq!(path, vec![ids[0], ids[1], ids[2]]);
+        assert_eq!(cc.path_between(0, 0, |_| true).unwrap(), Vec::<PacketId>::new());
+        assert!(cc.path_between(0, 4, |_| true).is_none());
+    }
+
+    #[test]
+    fn path_between_respects_dead_edges() {
+        let ids = pids(2);
+        let mut cc = ComponentTracker::new(4);
+        cc.merge(0, 1, ids[0]);
+        cc.merge(1, 2, ids[1]);
+        assert!(cc.path_between(0, 2, |_| true).is_some());
+        assert!(cc.path_between(0, 2, |p| p != ids[0]).is_none());
+    }
+
+    #[test]
+    fn path_prefers_any_valid_route() {
+        // Two parallel routes between 0 and 2; killing one still finds the other.
+        let ids = pids(4);
+        let mut cc = ComponentTracker::new(4);
+        cc.merge(0, 1, ids[0]);
+        cc.merge(1, 2, ids[1]);
+        cc.merge(0, 3, ids[2]);
+        cc.merge(3, 2, ids[3]);
+        let path = cc.path_between(0, 2, |p| p != ids[1]).unwrap();
+        assert_eq!(path, vec![ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn relabel_ops_accumulate() {
+        let ids = pids(2);
+        let mut cc = ComponentTracker::new(4);
+        assert_eq!(cc.relabel_ops(), 0);
+        cc.merge(0, 1, ids[0]);
+        let after_first = cc.relabel_ops();
+        assert!(after_first >= 1);
+        cc.mark_decoded(3);
+        assert!(cc.relabel_ops() > after_first);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The label partition always matches reachability over the recorded
+        /// degree-2 edges (plus the decoded class).
+        #[test]
+        fn prop_labels_match_edge_reachability(
+            k in 3usize..16,
+            ops in proptest::collection::vec((0usize..16, 0usize..16), 0..24),
+        ) {
+            let ids = pids(ops.len().max(1));
+            let mut cc = ComponentTracker::new(k);
+            for (i, &(a, b)) in ops.iter().enumerate() {
+                let (a, b) = (a % k, b % k);
+                if a != b {
+                    cc.merge(a, b, ids[i]);
+                }
+            }
+            for x in 0..k {
+                for y in 0..k {
+                    let connected = cc.path_between(x, y, |_| true).is_some();
+                    prop_assert_eq!(
+                        connected,
+                        cc.same_component(x, y),
+                        "x={} y={}", x, y
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,430 @@
+use std::collections::HashMap;
+
+use ltnc_gf2::{CodeVector, EncodedPacket, Payload};
+use ltnc_lt::{BpDecoder, DecodeEvent, InsertOutcome, LtError, PacketId, RobustSoliton};
+use ltnc_metrics::{OpCounters, OpKind};
+use rand::Rng;
+
+use crate::{ComponentTracker, DegreeIndex, LtncConfig, OccurrenceSpread, OccurrenceTracker, RecodeStats};
+
+/// What happened to a packet handed to [`LtncNode::receive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiveOutcome {
+    /// The redundancy detection (Algorithm 3) rejected the packet before it
+    /// was inserted: it could be generated from what the node already holds.
+    RejectedRedundant,
+    /// The packet was inserted but reduced to the zero combination inside the
+    /// decoder — a redundant packet the cheap detection did not catch.
+    NonInnovative,
+    /// The packet was stored in the Tanner graph (no new native decoded yet).
+    Stored,
+    /// The packet triggered belief propagation and decoded this many new natives.
+    Progress(usize),
+}
+
+impl ReceiveOutcome {
+    /// Returns `true` when the packet brought information the node kept.
+    #[must_use]
+    pub fn is_useful(self) -> bool {
+        matches!(self, ReceiveOutcome::Stored | ReceiveOutcome::Progress(_))
+    }
+}
+
+/// A node of the LTNC scheme: it decodes with belief propagation and recodes
+/// fresh packets whose statistics preserve the LT structure.
+///
+/// The node owns the four structures the paper describes (Tanner graph inside
+/// the [`BpDecoder`], plus the three complementary structures of Table I:
+/// [`DegreeIndex`], [`ComponentTracker`], [`OccurrenceTracker`]) and exposes
+/// the two operations the dissemination protocol needs:
+///
+/// * [`LtncNode::receive`] — reception path: redundancy detection
+///   (Algorithm 3), belief propagation, maintenance of the auxiliary
+///   structures;
+/// * [`LtncNode::recode`] — emission path: degree picking (§III-B.1), greedy
+///   build (Algorithm 1) and refinement (Algorithm 2).
+///
+/// Costs are recorded in two separate [`OpCounters`] ledgers so that the
+/// evaluation can report recoding and decoding costs independently
+/// (Figure 8 of the paper).
+#[derive(Debug, Clone)]
+pub struct LtncNode {
+    pub(crate) k: usize,
+    pub(crate) payload_size: usize,
+    pub(crate) config: LtncConfig,
+    pub(crate) soliton: RobustSoliton,
+    pub(crate) decoder: BpDecoder,
+    pub(crate) degree_index: DegreeIndex,
+    pub(crate) cc: ComponentTracker,
+    pub(crate) occurrences: OccurrenceTracker,
+    /// Multiset of the (sorted) native triples of buffered degree-3 packets,
+    /// for the `isAvailable` lookup of Algorithm 3.
+    pub(crate) degree3_counts: HashMap<[usize; 3], u32>,
+    /// Which triple a buffered packet currently at degree 3 contributes.
+    pub(crate) degree3_by_id: HashMap<PacketId, [usize; 3]>,
+    pub(crate) recode_counters: OpCounters,
+    pub(crate) decode_counters: OpCounters,
+    pub(crate) stats: RecodeStats,
+    /// Snapshot of the decoder's cumulative data/edge counters, used to charge
+    /// per-reception deltas to `decode_counters`.
+    last_decoder_payload_ops: u64,
+    last_decoder_edge_ops: u64,
+}
+
+impl LtncNode {
+    /// Creates a node for `k` native packets of `payload_size` bytes using the
+    /// paper's default configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize, payload_size: usize) -> Self {
+        Self::with_config(k, payload_size, LtncConfig::default())
+    }
+
+    /// Creates a node with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the Soliton parameters in the configuration are invalid.
+    #[must_use]
+    pub fn with_config(k: usize, payload_size: usize, config: LtncConfig) -> Self {
+        let soliton = RobustSoliton::new(k, config.soliton_c, config.soliton_delta)
+            .expect("configuration must describe a valid Robust Soliton distribution");
+        LtncNode {
+            k,
+            payload_size,
+            config,
+            soliton,
+            decoder: BpDecoder::new(k, payload_size),
+            degree_index: DegreeIndex::new(),
+            cc: ComponentTracker::new(k),
+            occurrences: OccurrenceTracker::new(k),
+            degree3_counts: HashMap::new(),
+            degree3_by_id: HashMap::new(),
+            recode_counters: OpCounters::new(),
+            decode_counters: OpCounters::new(),
+            stats: RecodeStats::new(),
+            last_decoder_payload_ops: 0,
+            last_decoder_edge_ops: 0,
+        }
+    }
+
+    /// A node that already holds every native packet (used for the source of a
+    /// dissemination, and convenient in tests). Equivalent to receiving the
+    /// `k` degree-1 packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of payloads differs from `k` or their sizes differ
+    /// from `payload_size`.
+    #[must_use]
+    pub fn with_all_natives(k: usize, payload_size: usize, natives: &[Payload], config: LtncConfig) -> Self {
+        assert_eq!(natives.len(), k, "expected {k} native payloads");
+        let mut node = Self::with_config(k, payload_size, config);
+        for (i, payload) in natives.iter().enumerate() {
+            assert_eq!(payload.len(), payload_size, "native {i} has the wrong size");
+            node.receive(&EncodedPacket::native(k, i, payload.clone()));
+        }
+        node
+    }
+
+    /// Code length `k`.
+    #[must_use]
+    pub fn code_length(&self) -> usize {
+        self.k
+    }
+
+    /// Payload size `m` in bytes.
+    #[must_use]
+    pub fn payload_size(&self) -> usize {
+        self.payload_size
+    }
+
+    /// The configuration this node runs with.
+    #[must_use]
+    pub fn config(&self) -> &LtncConfig {
+        &self.config
+    }
+
+    /// Number of native packets decoded so far.
+    #[must_use]
+    pub fn decoded_count(&self) -> usize {
+        self.decoder.decoded_count()
+    }
+
+    /// Returns `true` once every native packet has been decoded.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.decoder.is_complete()
+    }
+
+    /// Returns `true` when native packet `index` has been decoded.
+    #[must_use]
+    pub fn is_decoded(&self, index: usize) -> bool {
+        self.decoder.is_decoded(index)
+    }
+
+    /// The decoded payload of native `index`, if available.
+    #[must_use]
+    pub fn native(&self, index: usize) -> Option<&Payload> {
+        self.decoder.native(index)
+    }
+
+    /// All decoded payloads in native order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LtError::NotDecoded`] when decoding is not complete.
+    pub fn decode(&self) -> Result<Vec<Payload>, LtError> {
+        self.decoder.clone().into_natives()
+    }
+
+    /// Number of encoded packets currently buffered in the Tanner graph.
+    #[must_use]
+    pub fn buffered_count(&self) -> usize {
+        self.decoder.graph().len()
+    }
+
+    /// Number of packets received, useful or not.
+    #[must_use]
+    pub fn received_count(&self) -> u64 {
+        self.decoder.received_count() + self.stats.redundant_rejected
+    }
+
+    /// Returns `true` when the node holds something it can recode from
+    /// (at least one decoded native or one buffered packet).
+    #[must_use]
+    pub fn can_recode(&self) -> bool {
+        self.decoder.decoded_count() > 0 || !self.degree_index.is_empty()
+    }
+
+    /// Cost ledger of the reception/decoding path.
+    #[must_use]
+    pub fn decoding_counters(&self) -> &OpCounters {
+        &self.decode_counters
+    }
+
+    /// Cost ledger of the recoding path.
+    #[must_use]
+    pub fn recoding_counters(&self) -> &OpCounters {
+        &self.recode_counters
+    }
+
+    /// Statistics of the recoding pipeline (degree draws, build accuracy,
+    /// redundancy catches) — the in-text numbers of §III-B/§III-C.
+    #[must_use]
+    pub fn stats(&self) -> &RecodeStats {
+        &self.stats
+    }
+
+    /// Spread of the per-native occurrence counts in the packets this node has
+    /// sent (the refinement step keeps the relative standard deviation tiny).
+    #[must_use]
+    pub fn occurrence_spread(&self) -> OccurrenceSpread {
+        OccurrenceSpread::from_summary(&self.occurrences.summary())
+    }
+
+    /// The component labels of this node (`cc` in the paper) — what a receiver
+    /// transmits to a sender over the feedback channel for Algorithm 4.
+    #[must_use]
+    pub fn component_labels(&self) -> Vec<usize> {
+        self.cc.labels()
+    }
+
+    /// Receives an encoded packet.
+    ///
+    /// Runs the redundancy detection of Algorithm 3 (when enabled and the
+    /// degree is ≤ 3), then belief propagation, and keeps the auxiliary
+    /// structures in sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet's code length or payload size does not match the
+    /// node; a dissemination never mixes packet shapes.
+    pub fn receive(&mut self, packet: &EncodedPacket) -> ReceiveOutcome {
+        assert_eq!(packet.code_length(), self.k, "code length mismatch");
+        assert_eq!(packet.payload_size(), self.payload_size, "payload size mismatch");
+
+        if self.config.detect_redundancy && packet.degree() <= 3 {
+            self.decode_counters.incr(OpKind::RedundancyCheck);
+            if self.is_redundant(packet.vector()) {
+                self.stats.redundant_rejected += 1;
+                return ReceiveOutcome::RejectedRedundant;
+            }
+        }
+
+        let report = self
+            .decoder
+            .insert(packet.clone())
+            .expect("packet shape was checked above");
+        self.charge_decoder_deltas();
+        self.apply_events(&report.events);
+        self.stats.accepted += 1;
+
+        match report.outcome {
+            InsertOutcome::Redundant => {
+                self.stats.redundant_missed += 1;
+                ReceiveOutcome::NonInnovative
+            }
+            InsertOutcome::Buffered(_) => ReceiveOutcome::Stored,
+            InsertOutcome::Progress => ReceiveOutcome::Progress(report.newly_decoded.len()),
+        }
+    }
+
+    /// Generates a fresh encoded packet preserving the LT statistics:
+    /// picks a Robust Soliton degree, builds a packet of that degree from the
+    /// available encoded/decoded packets (Algorithm 1) and refines it to
+    /// balance native-packet occurrences (Algorithm 2).
+    ///
+    /// Returns `None` when the node holds nothing to recode from.
+    pub fn recode<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<EncodedPacket> {
+        if !self.can_recode() {
+            return None;
+        }
+        let target = self.pick_degree(rng);
+        let built = self.build_packet(target, rng);
+        if built.is_zero() {
+            return None;
+        }
+        let achieved = built.degree();
+        self.stats.recoded_packets += 1;
+        if achieved == target {
+            self.stats.target_reached += 1;
+        }
+        self.stats.relative_deviation_sum += (target - achieved) as f64 / target as f64;
+
+        let refined = if self.config.refine {
+            self.refine_packet(built)
+        } else {
+            built
+        };
+        self.occurrences.record_sent(refined.vector());
+        self.recode_counters.incr(OpKind::IndexUpdate);
+        Some(refined)
+    }
+
+    /// Charges the decoder's newly accumulated payload/edge work to the
+    /// decoding ledger.
+    fn charge_decoder_deltas(&mut self) {
+        let payload_ops = self.decoder.payload_xor_ops();
+        let edge_ops = self.decoder.edge_updates();
+        self.decode_counters
+            .add(OpKind::PayloadXor, payload_ops - self.last_decoder_payload_ops);
+        self.decode_counters
+            .add(OpKind::TannerEdgeUpdate, edge_ops - self.last_decoder_edge_ops);
+        self.last_decoder_payload_ops = payload_ops;
+        self.last_decoder_edge_ops = edge_ops;
+    }
+
+    /// Keeps the degree index, connected components and degree-3 lookup table
+    /// in sync with the decoder.
+    fn apply_events(&mut self, events: &[DecodeEvent]) {
+        for event in events {
+            match *event {
+                DecodeEvent::NativeDecoded { index } => {
+                    self.cc.mark_decoded(index);
+                    self.decode_counters.incr(OpKind::IndexUpdate);
+                }
+                DecodeEvent::PacketBuffered { id, degree } => {
+                    self.degree_index.insert(id, degree);
+                    self.decode_counters.incr(OpKind::IndexUpdate);
+                    self.track_low_degree(id, degree);
+                }
+                DecodeEvent::PacketReduced { id, new_degree } => {
+                    self.untrack_low_degree(id);
+                    self.degree_index.update(id, new_degree);
+                    self.decode_counters.incr(OpKind::IndexUpdate);
+                    self.track_low_degree(id, new_degree);
+                }
+                DecodeEvent::PacketConsumed { id } => {
+                    self.untrack_low_degree(id);
+                    self.degree_index.remove(id);
+                    self.decode_counters.incr(OpKind::IndexUpdate);
+                }
+            }
+        }
+    }
+
+    /// Registers a packet that is (now) of degree 2 or 3 in the corresponding
+    /// auxiliary structure.
+    ///
+    /// Events are applied after the decoder has finished its ripple, so a
+    /// packet reported at degree `d` by an intermediate event may since have
+    /// been reduced further or consumed. Only the final state matters for the
+    /// auxiliary structures (a packet that kept ripping down ends with its
+    /// natives decoded anyway), so the tracking is keyed on the packet's
+    /// *current* vector and skipped when it no longer matches `degree`.
+    fn track_low_degree(&mut self, id: PacketId, degree: usize) {
+        if degree != 2 && degree != 3 {
+            return;
+        }
+        let Some((vector, _)) = self.decoder.graph().packet(id) else {
+            return;
+        };
+        let ones = vector.ones();
+        if ones.len() != degree {
+            return;
+        }
+        match degree {
+            2 => {
+                self.cc.merge(ones[0], ones[1], id);
+                self.decode_counters.incr(OpKind::IndexUpdate);
+            }
+            3 => {
+                let triple = [ones[0], ones[1], ones[2]];
+                *self.degree3_counts.entry(triple).or_insert(0) += 1;
+                self.degree3_by_id.insert(id, triple);
+                self.decode_counters.incr(OpKind::IndexUpdate);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Removes a packet from the degree-3 lookup table if it was registered there.
+    fn untrack_low_degree(&mut self, id: PacketId) {
+        if let Some(triple) = self.degree3_by_id.remove(&id) {
+            if let Some(count) = self.degree3_counts.get_mut(&triple) {
+                *count -= 1;
+                if *count == 0 {
+                    self.degree3_counts.remove(&triple);
+                }
+            }
+        }
+    }
+
+    /// Builds the degree-2 packet `x ⊕ y` from what the node holds: directly
+    /// from the two decoded payloads when both are decoded, otherwise by
+    /// XOR-ing buffered degree-2 packets along a path between `x` and `y`.
+    ///
+    /// Returns `None` when the pair cannot be generated (the two natives are
+    /// not in the same connected component).
+    pub(crate) fn pair_packet(&mut self, x: usize, y: usize) -> Option<EncodedPacket> {
+        debug_assert_ne!(x, y);
+        let vector = CodeVector::from_indices(self.k, &[x, y]);
+        if self.decoder.is_decoded(x) && self.decoder.is_decoded(y) {
+            let mut payload = self.decoder.native(x).expect("decoded").clone();
+            payload.xor_assign(self.decoder.native(y).expect("decoded"));
+            self.recode_counters.incr(OpKind::PayloadXor);
+            self.recode_counters.incr(OpKind::VectorXor);
+            return Some(EncodedPacket::new(vector, payload));
+        }
+        let graph = self.decoder.graph();
+        let path = self.cc.path_between(x, y, |id| graph.packet(id).is_some())?;
+        if path.is_empty() {
+            return None;
+        }
+        let mut payload = Payload::zero(self.payload_size);
+        let mut check = CodeVector::zero(self.k);
+        for id in &path {
+            let (v, p) = graph.packet(*id).expect("path edges are alive");
+            payload.xor_assign(p);
+            check.xor_assign(v);
+            self.recode_counters.incr(OpKind::PayloadXor);
+            self.recode_counters.incr(OpKind::VectorXor);
+        }
+        debug_assert_eq!(check, vector, "degree-2 path must telescope to x ⊕ y");
+        Some(EncodedPacket::new(vector, payload))
+    }
+}

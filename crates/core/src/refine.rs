@@ -1,0 +1,204 @@
+use ltnc_gf2::EncodedPacket;
+use ltnc_metrics::OpKind;
+
+use crate::LtncNode;
+
+impl LtncNode {
+    /// Algorithm 2 of the paper: refines a freshly built packet by replacing
+    /// over-represented native packets with under-represented ones, without
+    /// changing the packet's degree.
+    ///
+    /// A native `x` appearing in `z` can be replaced by `x'` when `x ⊕ x'` can
+    /// be generated from decoded natives and degree-2 packets (i.e. `x` and
+    /// `x'` are in the same connected component), `x'` is strictly less
+    /// frequent than `x` in the packets this node has already sent, and `x'`
+    /// does not already appear in the packet. Adding `x ⊕ x'` then swaps the
+    /// two (`x ⊕ x = 0`).
+    pub(crate) fn refine_packet(&mut self, z: EncodedPacket) -> EncodedPacket {
+        let original_members = z.vector().ones();
+        let mut refined = z;
+        for x in original_members {
+            self.recode_counters.incr(OpKind::RefineStep);
+            // `x` may have been swapped back out by an earlier substitution in
+            // unusual component shapes; only replace natives still present.
+            if !refined.vector().contains(x) {
+                continue;
+            }
+            // Candidates: same component, strictly less frequent, not already in z'.
+            let candidates: Vec<usize> = self.cc.members_of(x).to_vec();
+            let Some(best) = self.occurrences.best_substitute(x, &candidates, |c| {
+                !refined.vector().contains(c)
+            }) else {
+                continue;
+            };
+            let Some(pair) = self.pair_packet(x, best) else {
+                // The component relation promised x ⊕ best is generatable; if
+                // the supporting degree-2 packets were consumed in the meantime
+                // (both natives decoded), pair_packet already handled it, so
+                // reaching this point means we simply skip the substitution.
+                continue;
+            };
+            refined.xor_assign(&pair);
+            self.recode_counters.incr(OpKind::PayloadXor);
+            self.recode_counters.incr(OpKind::VectorXor);
+            debug_assert!(!refined.vector().contains(x));
+            debug_assert!(refined.vector().contains(best));
+        }
+        refined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LtncConfig;
+    use ltnc_gf2::{CodeVector, Payload};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn natives(k: usize, m: usize) -> Vec<Payload> {
+        (0..k)
+            .map(|i| Payload::from_vec((0..m).map(|j| (i * 11 + j + 1) as u8).collect()))
+            .collect()
+    }
+
+    fn packet(k: usize, indices: &[usize], nat: &[Payload]) -> EncodedPacket {
+        let mut payload = Payload::zero(nat[0].len());
+        for &i in indices {
+            payload.xor_assign(&nat[i]);
+        }
+        EncodedPacket::new(CodeVector::from_indices(k, indices), payload)
+    }
+
+    fn assert_consistent(p: &EncodedPacket, nat: &[Payload]) {
+        let mut expected = Payload::zero(nat[0].len());
+        for i in p.vector().iter_ones() {
+            expected.xor_assign(&nat[i]);
+        }
+        assert_eq!(p.payload(), &expected, "payload does not match code vector");
+    }
+
+    #[test]
+    fn refinement_preserves_degree_and_consistency() {
+        let k = 16;
+        let m = 4;
+        let nat = natives(k, m);
+        let mut node = LtncNode::with_all_natives(k, m, &nat, LtncConfig::default());
+        let mut rng = SmallRng::seed_from_u64(17);
+        // Skew the occurrence counts: pretend x0..x3 were sent many times.
+        for _ in 0..10 {
+            node.occurrences.record_sent(&CodeVector::from_indices(k, &[0, 1, 2, 3]));
+        }
+        let z = node.build_packet(4, &mut rng);
+        let d = z.degree();
+        let refined = node.refine_packet(z);
+        assert_eq!(refined.degree(), d);
+        assert_consistent(&refined, &nat);
+    }
+
+    #[test]
+    fn over_represented_natives_are_swapped_out() {
+        // Everything decoded, so every pair is substitutable. x0 is made very
+        // frequent; a packet containing x0 must lose it after refinement.
+        let k = 8;
+        let m = 2;
+        let nat = natives(k, m);
+        let mut node = LtncNode::with_all_natives(k, m, &nat, LtncConfig::default());
+        for _ in 0..5 {
+            node.occurrences.record_sent(&CodeVector::from_indices(k, &[0]));
+        }
+        let z = packet(k, &[0, 1], &nat);
+        let refined = node.refine_packet(z);
+        assert_eq!(refined.degree(), 2);
+        assert!(!refined.vector().contains(0), "frequent native x0 should be replaced");
+        assert_consistent(&refined, &nat);
+    }
+
+    #[test]
+    fn paper_figure4_refinement_example() {
+        // Figure 4 / §III-B.3: z = x1⊕x2⊕x3⊕x4⊕x5 (0-based 0..4); x3 (index 2)
+        // is over-represented and connected to x7 (index 6) through
+        // y4 = x3⊕x5 and y6 = x5⊕x7; x7 is the least frequent. The refined
+        // packet is x1⊕x2⊕x4⊕x5⊕x7.
+        let k = 7;
+        let m = 2;
+        let nat = natives(k, m);
+        let mut node = LtncNode::new(k, m);
+        node.receive(&packet(k, &[2, 4], &nat)); // y4 = x3 ⊕ x5
+        node.receive(&packet(k, &[4, 6], &nat)); // y6 = x5 ⊕ x7
+        // Occurrence counts: x3 (index 2) frequent, x7 (index 6) never sent.
+        for _ in 0..4 {
+            node.occurrences.record_sent(&CodeVector::from_indices(k, &[2]));
+        }
+        for _ in 0..2 {
+            node.occurrences.record_sent(&CodeVector::from_indices(k, &[4])); // x5 somewhat frequent
+        }
+        for _ in 0..1 {
+            node.occurrences.record_sent(&CodeVector::from_indices(k, &[0, 1, 3]));
+        }
+
+        let z = packet(k, &[0, 1, 2, 3, 4], &nat);
+        let refined = node.refine_packet(z);
+        assert_eq!(refined.degree(), 5);
+        assert!(!refined.vector().contains(2), "x3 must be replaced");
+        assert!(refined.vector().contains(6), "x7 must be introduced");
+        assert_consistent(&refined, &nat);
+        assert_eq!(refined.vector().ones(), vec![0, 1, 3, 4, 6]);
+    }
+
+    #[test]
+    fn no_substitution_when_no_candidate_is_less_frequent() {
+        let k = 8;
+        let m = 2;
+        let nat = natives(k, m);
+        let mut node = LtncNode::with_all_natives(k, m, &nat, LtncConfig::default());
+        // Uniform occurrence counts: nothing to improve.
+        node.occurrences.record_sent(&CodeVector::from_indices(k, &(0..k).collect::<Vec<_>>()));
+        let z = packet(k, &[1, 2, 3], &nat);
+        let refined = node.refine_packet(z.clone());
+        assert_eq!(refined, z);
+    }
+
+    #[test]
+    fn refinement_without_connectivity_is_a_noop() {
+        // Nothing decoded and no degree-2 packets: components are singletons,
+        // so no substitution is possible.
+        let k = 8;
+        let m = 2;
+        let nat = natives(k, m);
+        let mut node = LtncNode::new(k, m);
+        node.receive(&packet(k, &[1, 2, 3], &nat));
+        for _ in 0..3 {
+            node.occurrences.record_sent(&CodeVector::from_indices(k, &[1, 2, 3]));
+        }
+        let z = packet(k, &[1, 2, 3], &nat);
+        let refined = node.refine_packet(z.clone());
+        assert_eq!(refined, z);
+    }
+
+    #[test]
+    fn refinement_reduces_occurrence_variance_over_time() {
+        // Full-knowledge node recoding many packets: with refinement the
+        // spread of native occurrences must stay small (paper: ≈ 0.1 % RSD),
+        // and must be smaller than without refinement.
+        let k = 64;
+        let m = 1;
+        let nat = natives(k, m);
+        let mut with = LtncNode::with_all_natives(k, m, &nat, LtncConfig::default());
+        let mut without =
+            LtncNode::with_all_natives(k, m, &nat, LtncConfig::default().without_refinement());
+        let mut rng_a = SmallRng::seed_from_u64(3);
+        let mut rng_b = SmallRng::seed_from_u64(3);
+        for _ in 0..400 {
+            with.recode(&mut rng_a).unwrap();
+            without.recode(&mut rng_b).unwrap();
+        }
+        let rsd_with = with.occurrence_spread().relative_std_dev;
+        let rsd_without = without.occurrence_spread().relative_std_dev;
+        assert!(
+            rsd_with < rsd_without,
+            "refinement should reduce the spread: {rsd_with} vs {rsd_without}"
+        );
+        assert!(rsd_with < 0.25, "relative std-dev too high: {rsd_with}");
+    }
+}

@@ -1,0 +1,512 @@
+use core::fmt;
+
+use crate::{CodeVector, Gf2Error};
+
+/// A dense GF(2) matrix whose rows are [`CodeVector`]s.
+///
+/// This is the *code matrix* of the paper's RLNC baseline: every received code
+/// vector is appended as a row; the content is decodable once the matrix
+/// reaches rank `k`, using Gaussian reduction in `O(k²)` row operations (plus
+/// `O(m·k²)` work on payloads, accounted separately by the caller).
+///
+/// The matrix maintains an *incremental row-echelon form*: each inserted row is
+/// reduced against the existing pivots, so innovation checks (`is_innovative`)
+/// are a single reduction pass and rank queries are O(1).
+#[derive(Clone)]
+pub struct Gf2Matrix {
+    k: usize,
+    /// Reduced rows, at most one per pivot column. `pivots[c] = Some(row index)`.
+    rows: Vec<CodeVector>,
+    /// Maps a pivot column to the index in `rows` of the row whose leading 1 is that column.
+    pivots: Vec<Option<usize>>,
+    /// Number of GF(2) row XOR operations performed, for the cost model.
+    row_ops: u64,
+}
+
+/// Outcome of inserting a row into a [`Gf2Matrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowEchelonReport {
+    /// Whether the row increased the rank of the matrix.
+    pub innovative: bool,
+    /// Rank of the matrix after the insertion.
+    pub rank: usize,
+    /// Number of row XOR operations this insertion required.
+    pub row_ops: u64,
+}
+
+impl Gf2Matrix {
+    /// Creates an empty matrix over `k` unknowns (rank 0).
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Gf2Matrix {
+            k,
+            rows: Vec::new(),
+            pivots: vec![None; k],
+            row_ops: 0,
+        }
+    }
+
+    /// Number of unknowns (code length `k`).
+    #[must_use]
+    pub fn code_length(&self) -> usize {
+        self.k
+    }
+
+    /// Current rank of the matrix.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` once the rank equals `k`, i.e. the content is decodable.
+    #[must_use]
+    pub fn is_full_rank(&self) -> bool {
+        self.rank() == self.k
+    }
+
+    /// Total number of row XOR operations performed so far (cost accounting).
+    #[must_use]
+    pub fn row_ops(&self) -> u64 {
+        self.row_ops
+    }
+
+    /// Reduces `vector` against the current pivots without modifying the matrix
+    /// and returns `true` when the residual is non-zero (the row would increase
+    /// the rank). This is the partial Gaussian reduction the paper's RLNC
+    /// baseline uses to detect non-innovative packets on reception.
+    #[must_use]
+    pub fn is_innovative(&self, vector: &CodeVector) -> bool {
+        !self.reduce(vector.clone()).0.is_zero()
+    }
+
+    /// Inserts a row, keeping the matrix in row-echelon form.
+    ///
+    /// Returns a report stating whether the row was innovative, together with
+    /// the new rank and the number of row operations spent. Non-innovative rows
+    /// are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the matrix code length.
+    pub fn insert(&mut self, vector: CodeVector) -> RowEchelonReport {
+        assert_eq!(vector.len(), self.k, "row length must match code length");
+        let (reduced, ops) = self.reduce(vector);
+        self.row_ops += ops;
+        if let Some(pivot) = reduced.first_one() {
+            self.pivots[pivot] = Some(self.rows.len());
+            self.rows.push(reduced);
+            RowEchelonReport {
+                innovative: true,
+                rank: self.rank(),
+                row_ops: ops,
+            }
+        } else {
+            RowEchelonReport {
+                innovative: false,
+                rank: self.rank(),
+                row_ops: ops,
+            }
+        }
+    }
+
+    /// Reduces a vector against the current pivots, returning the residual and
+    /// the number of row XORs spent.
+    fn reduce(&self, mut vector: CodeVector) -> (CodeVector, u64) {
+        let mut ops = 0;
+        loop {
+            match vector.first_one() {
+                None => return (vector, ops),
+                Some(col) => match self.pivots[col] {
+                    Some(row) => {
+                        vector.xor_assign(&self.rows[row]);
+                        ops += 1;
+                    }
+                    None => return (vector, ops),
+                },
+            }
+        }
+    }
+
+    /// Expresses each unknown as a combination of the inserted (original) rows
+    /// is not tracked here; instead, callers that need payload recovery keep
+    /// payloads aligned with rows via [`Gf2Solver`].
+    ///
+    /// Returns the reduced rows in pivot order (row-echelon form), mainly for
+    /// diagnostics and tests.
+    #[must_use]
+    pub fn echelon_rows(&self) -> Vec<CodeVector> {
+        let mut out: Vec<CodeVector> = Vec::with_capacity(self.rows.len());
+        let mut cols: Vec<usize> = (0..self.k).filter(|&c| self.pivots[c].is_some()).collect();
+        cols.sort_unstable();
+        for c in cols {
+            out.push(self.rows[self.pivots[c].expect("pivot present")].clone());
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Gf2Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2Matrix(k={}, rank={})", self.k, self.rank())
+    }
+}
+
+/// A full Gaussian-elimination solver that tracks, for every reduced row, the
+/// combination of *original* inserted rows it corresponds to.
+///
+/// This is what the RLNC decoder needs: once full rank is reached, the solver
+/// reports, for each native packet `x_i`, which subset of the received encoded
+/// packets must be XOR-ed to recover it. The payload work (the `O(m·k²)` part)
+/// is then performed by the caller using that recipe, so the data cost can be
+/// measured separately from the control cost, exactly as in Figure 8 of the
+/// paper.
+#[derive(Clone, Debug)]
+pub struct Gf2Solver {
+    k: usize,
+    /// Reduced code vectors (row-echelon form, one per pivot).
+    rows: Vec<CodeVector>,
+    /// For each reduced row, the combination of original rows (by insertion index).
+    combos: Vec<CodeVector>,
+    /// pivot column -> index into rows/combos
+    pivots: Vec<Option<usize>>,
+    /// Number of original rows inserted (innovative or not).
+    inserted: usize,
+    /// Maximum number of original rows the combination bitmaps can address.
+    capacity: usize,
+    row_ops: u64,
+}
+
+impl Gf2Solver {
+    /// Creates a solver for `k` unknowns able to track up to `capacity` received rows.
+    #[must_use]
+    pub fn new(k: usize, capacity: usize) -> Self {
+        Gf2Solver {
+            k,
+            rows: Vec::new(),
+            combos: Vec::new(),
+            pivots: vec![None; k],
+            inserted: 0,
+            capacity,
+            row_ops: 0,
+        }
+    }
+
+    /// Number of unknowns.
+    #[must_use]
+    pub fn code_length(&self) -> usize {
+        self.k
+    }
+
+    /// Current rank.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the system is solvable.
+    #[must_use]
+    pub fn is_full_rank(&self) -> bool {
+        self.rank() == self.k
+    }
+
+    /// Number of original rows inserted so far (used as the next row id).
+    #[must_use]
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Total row XOR operations spent (control-structure cost).
+    #[must_use]
+    pub fn row_ops(&self) -> u64 {
+        self.row_ops
+    }
+
+    /// Returns `true` when the vector would increase the rank.
+    #[must_use]
+    pub fn is_innovative(&self, vector: &CodeVector) -> bool {
+        let mut v = vector.clone();
+        loop {
+            match v.first_one() {
+                None => return false,
+                Some(col) => match self.pivots[col] {
+                    Some(row) => v.xor_assign(&self.rows[row]),
+                    None => return true,
+                },
+            }
+        }
+    }
+
+    /// Inserts a received code vector. Returns the id assigned to the row (its
+    /// insertion index) and whether it was innovative. Non-innovative rows
+    /// still consume an id so that callers can keep payload buffers aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from `k` or more than `capacity`
+    /// rows have been inserted.
+    pub fn insert(&mut self, vector: CodeVector) -> (usize, bool) {
+        assert_eq!(vector.len(), self.k, "row length must match code length");
+        assert!(self.inserted < self.capacity, "solver capacity exceeded");
+        let id = self.inserted;
+        self.inserted += 1;
+
+        let mut v = vector;
+        let mut combo = CodeVector::singleton(self.capacity, id);
+        loop {
+            match v.first_one() {
+                None => return (id, false),
+                Some(col) => match self.pivots[col] {
+                    Some(row) => {
+                        v.xor_assign(&self.rows[row]);
+                        combo.xor_assign(&self.combos[row]);
+                        self.row_ops += 1;
+                    }
+                    None => {
+                        self.pivots[col] = Some(self.rows.len());
+                        self.rows.push(v);
+                        self.combos.push(combo);
+                        return (id, true);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Solves the full-rank system by back-substitution and returns, for each
+    /// native packet index `i`, the set of original row ids whose payloads must
+    /// be XOR-ed to recover `x_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Gf2Error::NotFullRank`] when fewer than `k` innovative rows
+    /// have been inserted.
+    pub fn solve(&mut self) -> Result<Vec<CodeVector>, Gf2Error> {
+        if !self.is_full_rank() {
+            return Err(Gf2Error::NotFullRank {
+                rank: self.rank(),
+                needed: self.k,
+            });
+        }
+        // Back-substitution: process pivot columns from highest to lowest and
+        // eliminate that column from every other row.
+        let mut rows = self.rows.clone();
+        let mut combos = self.combos.clone();
+        let pivot_of_col: Vec<usize> = (0..self.k)
+            .map(|c| self.pivots[c].expect("full rank implies pivot in every column"))
+            .collect();
+        for col in (0..self.k).rev() {
+            let src = pivot_of_col[col];
+            for other_col in 0..col {
+                let dst = pivot_of_col[other_col];
+                if rows[dst].contains(col) {
+                    let (src_row, src_combo) = (rows[src].clone(), combos[src].clone());
+                    rows[dst].xor_assign(&src_row);
+                    combos[dst].xor_assign(&src_combo);
+                    self.row_ops += 1;
+                }
+            }
+        }
+        // After full reduction, the row whose pivot is column i is exactly e_i.
+        let mut recipes = vec![CodeVector::zero(self.capacity); self.k];
+        for (col, recipe) in recipes.iter_mut().enumerate() {
+            let r = pivot_of_col[col];
+            debug_assert_eq!(rows[r].ones(), vec![col], "row must reduce to a unit vector");
+            *recipe = combos[r].clone();
+        }
+        Ok(recipes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cv(k: usize, idx: &[usize]) -> CodeVector {
+        CodeVector::from_indices(k, idx)
+    }
+
+    #[test]
+    fn empty_matrix_has_rank_zero() {
+        let m = Gf2Matrix::new(5);
+        assert_eq!(m.rank(), 0);
+        assert!(!m.is_full_rank());
+        assert_eq!(m.code_length(), 5);
+    }
+
+    #[test]
+    fn inserting_independent_rows_increases_rank() {
+        let mut m = Gf2Matrix::new(3);
+        assert!(m.insert(cv(3, &[0, 1])).innovative);
+        assert!(m.insert(cv(3, &[1, 2])).innovative);
+        assert!(m.insert(cv(3, &[2])).innovative);
+        assert!(m.is_full_rank());
+    }
+
+    #[test]
+    fn dependent_row_is_not_innovative() {
+        let mut m = Gf2Matrix::new(3);
+        m.insert(cv(3, &[0, 1]));
+        m.insert(cv(3, &[1, 2]));
+        let r = m.insert(cv(3, &[0, 2])); // = row0 + row1
+        assert!(!r.innovative);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn zero_row_is_never_innovative() {
+        let mut m = Gf2Matrix::new(4);
+        assert!(!m.insert(cv(4, &[])).innovative);
+        assert!(!m.is_innovative(&cv(4, &[])));
+    }
+
+    #[test]
+    fn is_innovative_matches_insert() {
+        let mut m = Gf2Matrix::new(4);
+        m.insert(cv(4, &[0, 1]));
+        m.insert(cv(4, &[1, 2]));
+        assert!(!m.is_innovative(&cv(4, &[0, 2])));
+        assert!(m.is_innovative(&cv(4, &[3])));
+        assert!(m.is_innovative(&cv(4, &[0, 3])));
+    }
+
+    #[test]
+    fn row_ops_are_counted() {
+        let mut m = Gf2Matrix::new(4);
+        m.insert(cv(4, &[0]));
+        let before = m.row_ops();
+        m.insert(cv(4, &[0, 1])); // requires one reduction against pivot 0
+        assert!(m.row_ops() > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn insert_wrong_length_panics() {
+        let mut m = Gf2Matrix::new(4);
+        m.insert(cv(5, &[0]));
+    }
+
+    #[test]
+    fn echelon_rows_have_distinct_pivots() {
+        let mut m = Gf2Matrix::new(6);
+        m.insert(cv(6, &[0, 3, 5]));
+        m.insert(cv(6, &[0, 1]));
+        m.insert(cv(6, &[1, 2, 3]));
+        let rows = m.echelon_rows();
+        let pivots: Vec<usize> = rows.iter().map(|r| r.first_one().unwrap()).collect();
+        let mut sorted = pivots.clone();
+        sorted.dedup();
+        assert_eq!(pivots.len(), m.rank());
+        assert_eq!(sorted.len(), pivots.len());
+    }
+
+    #[test]
+    fn solver_recovers_identity_recipes() {
+        // Insert unit vectors: recipe for x_i is exactly row i.
+        let mut s = Gf2Solver::new(3, 8);
+        for i in 0..3 {
+            let (id, innovative) = s.insert(cv(3, &[i]));
+            assert_eq!(id, i);
+            assert!(innovative);
+        }
+        let recipes = s.solve().unwrap();
+        for (i, r) in recipes.iter().enumerate() {
+            assert_eq!(r.ones(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn solver_recovers_combined_recipes() {
+        // y0 = x0+x1, y1 = x1, y2 = x1+x2
+        // => x0 = y0+y1, x1 = y1, x2 = y1+y2
+        let mut s = Gf2Solver::new(3, 8);
+        s.insert(cv(3, &[0, 1]));
+        s.insert(cv(3, &[1]));
+        s.insert(cv(3, &[1, 2]));
+        let recipes = s.solve().unwrap();
+        assert_eq!(recipes[0].ones(), vec![0, 1]);
+        assert_eq!(recipes[1].ones(), vec![1]);
+        assert_eq!(recipes[2].ones(), vec![1, 2]);
+    }
+
+    #[test]
+    fn solver_not_full_rank_error() {
+        let mut s = Gf2Solver::new(3, 8);
+        s.insert(cv(3, &[0, 1]));
+        let err = s.solve().unwrap_err();
+        assert_eq!(err, Gf2Error::NotFullRank { rank: 1, needed: 3 });
+    }
+
+    #[test]
+    fn solver_counts_non_innovative_insertions() {
+        let mut s = Gf2Solver::new(2, 8);
+        let (_, a) = s.insert(cv(2, &[0]));
+        let (_, b) = s.insert(cv(2, &[0]));
+        assert!(a);
+        assert!(!b);
+        assert_eq!(s.inserted(), 2);
+        assert_eq!(s.rank(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn solver_capacity_is_enforced() {
+        let mut s = Gf2Solver::new(2, 1);
+        s.insert(cv(2, &[0]));
+        s.insert(cv(2, &[1]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Rank never exceeds min(#rows, k) and innovation implies rank increase.
+        #[test]
+        fn prop_rank_bounds(rows in proptest::collection::vec(
+            proptest::collection::vec(0usize..16, 0..8), 0..32)) {
+            let mut m = Gf2Matrix::new(16);
+            let mut innovative_count = 0;
+            for r in &rows {
+                let before = m.rank();
+                let rep = m.insert(cv(16, r));
+                if rep.innovative {
+                    innovative_count += 1;
+                    prop_assert_eq!(m.rank(), before + 1);
+                } else {
+                    prop_assert_eq!(m.rank(), before);
+                }
+            }
+            prop_assert_eq!(m.rank(), innovative_count);
+            prop_assert!(m.rank() <= 16);
+        }
+
+        /// When the solver reaches full rank, the recipes actually reconstruct
+        /// the unit vectors from the original inserted rows.
+        #[test]
+        fn prop_solver_recipes_reconstruct_unit_vectors(seed_rows in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 1..6), 24..40)) {
+            let k = 8;
+            let capacity = seed_rows.len() + k;
+            let mut s = Gf2Solver::new(k, capacity);
+            let mut originals: Vec<CodeVector> = Vec::new();
+            for r in &seed_rows {
+                let v = cv(k, r);
+                originals.push(v.clone());
+                s.insert(v);
+            }
+            // Top up with unit vectors to guarantee full rank.
+            for i in 0..k {
+                let v = cv(k, &[i]);
+                originals.push(v.clone());
+                s.insert(v);
+            }
+            let recipes = s.solve().unwrap();
+            for (i, recipe) in recipes.iter().enumerate() {
+                let mut acc = CodeVector::zero(k);
+                for row_id in recipe.iter_ones() {
+                    acc.xor_assign(&originals[row_id]);
+                }
+                prop_assert_eq!(acc.ones(), vec![i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+use core::fmt;
+
+use bytes::{Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::Gf2Error;
+
+/// The data part of a packet: `m` bytes combined by XOR.
+///
+/// The paper separates the cost of operations on *control structures* (code
+/// vectors, Tanner graph, code matrix) from operations on *data* (payload
+/// XORs of `m = 256 KB` blocks). `Payload` is the data side; every XOR of two
+/// payloads is the unit the cost model of `ltnc-metrics` charges as a data
+/// operation of `m` bytes.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Payload {
+    bytes: Vec<u8>,
+}
+
+impl Payload {
+    /// Creates a zero payload (all bytes `0`) of the given size.
+    #[must_use]
+    pub fn zero(size: usize) -> Self {
+        Payload { bytes: vec![0; size] }
+    }
+
+    /// Wraps an existing byte vector.
+    #[must_use]
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        Payload { bytes }
+    }
+
+    /// Copies a byte slice into a new payload.
+    #[must_use]
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        Payload { bytes: bytes.to_vec() }
+    }
+
+    /// Payload size `m` in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` for a zero-length payload.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Returns `true` when every byte is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+
+    /// Read-only view of the payload bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the payload and returns the owned bytes.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Copies the payload into a [`Bytes`] buffer (cheap to clone afterwards),
+    /// e.g. to hand packets to a transport layer.
+    #[must_use]
+    pub fn to_bytes(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.bytes.len());
+        b.extend_from_slice(&self.bytes);
+        b.freeze()
+    }
+
+    /// Adds `other` to `self` over GF(2) (byte-wise XOR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload sizes differ.
+    pub fn xor_assign(&mut self, other: &Payload) {
+        assert_eq!(
+            self.bytes.len(),
+            other.bytes.len(),
+            "cannot combine payloads of different sizes"
+        );
+        for (a, b) in self.bytes.iter_mut().zip(&other.bytes) {
+            *a ^= *b;
+        }
+    }
+
+    /// Checked variant of [`Payload::xor_assign`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Gf2Error::LengthMismatch`] when the payload sizes differ.
+    pub fn try_xor_assign(&mut self, other: &Payload) -> Result<(), Gf2Error> {
+        if self.bytes.len() != other.bytes.len() {
+            return Err(Gf2Error::LengthMismatch {
+                left: self.bytes.len(),
+                right: other.bytes.len(),
+            });
+        }
+        self.xor_assign(other);
+        Ok(())
+    }
+
+    /// Returns `self ⊕ other` without modifying either operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload sizes differ.
+    #[must_use]
+    pub fn xor(&self, other: &Payload) -> Payload {
+        let mut out = self.clone();
+        out.xor_assign(other);
+        out
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bytes)", self.bytes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_payload_is_zero() {
+        let p = Payload::zero(32);
+        assert!(p.is_zero());
+        assert_eq!(p.len(), 32);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let p = Payload::zero(0);
+        assert!(p.is_empty());
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn xor_assign_is_bytewise() {
+        let mut a = Payload::from_vec(vec![0b1010_1010; 4]);
+        let b = Payload::from_vec(vec![0b0000_1111; 4]);
+        a.xor_assign(&b);
+        assert_eq!(a.as_bytes(), &[0b1010_0101; 4]);
+    }
+
+    #[test]
+    fn xor_with_zero_is_identity() {
+        let a = Payload::from_vec(vec![1, 2, 3, 4]);
+        let z = Payload::zero(4);
+        assert_eq!(a.xor(&z), a);
+    }
+
+    #[test]
+    fn xor_with_self_is_zero() {
+        let a = Payload::from_vec(vec![9, 8, 7]);
+        assert!(a.xor(&a).is_zero());
+    }
+
+    #[test]
+    fn try_xor_assign_rejects_size_mismatch() {
+        let mut a = Payload::zero(4);
+        let b = Payload::zero(5);
+        assert_eq!(
+            a.try_xor_assign(&b),
+            Err(Gf2Error::LengthMismatch { left: 4, right: 5 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different sizes")]
+    fn xor_assign_panics_on_size_mismatch() {
+        let mut a = Payload::zero(4);
+        a.xor_assign(&Payload::zero(5));
+    }
+
+    #[test]
+    fn to_bytes_copies_content() {
+        let a = Payload::from_slice(&[1, 2, 3]);
+        assert_eq!(a.to_bytes().as_ref(), &[1, 2, 3]);
+        assert_eq!(a.into_vec(), vec![1, 2, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_xor_commutes(a in proptest::collection::vec(any::<u8>(), 0..64),
+                             b_seed in any::<u8>()) {
+            let b: Vec<u8> = a.iter().map(|x| x.wrapping_add(b_seed)).collect();
+            let pa = Payload::from_vec(a);
+            let pb = Payload::from_vec(b);
+            prop_assert_eq!(pa.xor(&pb), pb.xor(&pa));
+        }
+
+        #[test]
+        fn prop_double_xor_is_identity(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                       mask in any::<u8>()) {
+            let b: Vec<u8> = a.iter().map(|x| x ^ mask).collect();
+            let pa = Payload::from_vec(a.clone());
+            let pb = Payload::from_vec(b);
+            let mut w = pa.clone();
+            w.xor_assign(&pb);
+            w.xor_assign(&pb);
+            prop_assert_eq!(w, pa);
+        }
+    }
+}

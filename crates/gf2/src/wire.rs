@@ -1,0 +1,159 @@
+//! Wire (de)serialization of encoded packets.
+//!
+//! The paper puts the code vector, "represented by a bitmap", in the header of
+//! every packet, followed by the payload. This module implements exactly that
+//! framing so packets can be shipped over a real transport (or dumped to disk
+//! by the examples):
+//!
+//! ```text
+//! +----------------+----------------+------------------+------------------+
+//! | k (u32 LE)     | m (u32 LE)     | bitmap ⌈k/8⌉ B   | payload m bytes  |
+//! +----------------+----------------+------------------+------------------+
+//! ```
+//!
+//! The binary feedback channel of the evaluation relies on the receiver seeing
+//! the header before the payload: [`decode_header`] only needs the first
+//! `8 + ⌈k/8⌉` bytes, so a receiver can run its redundancy / innovation check
+//! and abort the transfer without ever reading the payload.
+
+use crate::{CodeVector, EncodedPacket, Gf2Error, Payload};
+
+/// Size in bytes of the fixed part of the header (`k` and `m`).
+pub const FIXED_HEADER_BYTES: usize = 8;
+
+/// Total header size (fixed part plus bitmap) for a given code length.
+#[must_use]
+pub fn header_size(code_length: usize) -> usize {
+    FIXED_HEADER_BYTES + code_length.div_ceil(8)
+}
+
+/// Serializes a packet into the wire format described in the module docs.
+#[must_use]
+pub fn encode(packet: &EncodedPacket) -> Vec<u8> {
+    let k = packet.code_length();
+    let m = packet.payload_size();
+    let mut out = Vec::with_capacity(header_size(k) + m);
+    out.extend_from_slice(&(k as u32).to_le_bytes());
+    out.extend_from_slice(&(m as u32).to_le_bytes());
+    let mut bitmap = vec![0u8; k.div_ceil(8)];
+    for i in packet.vector().iter_ones() {
+        bitmap[i / 8] |= 1 << (i % 8);
+    }
+    out.extend_from_slice(&bitmap);
+    out.extend_from_slice(packet.payload().as_bytes());
+    out
+}
+
+/// Decodes only the header (code length, payload size, code vector) from the
+/// first `header_size(k)` bytes of a frame. This is what a receiver with a
+/// feedback channel inspects before accepting the payload.
+///
+/// # Errors
+///
+/// Returns [`Gf2Error::LengthMismatch`] when the buffer is too short.
+pub fn decode_header(bytes: &[u8]) -> Result<(usize, usize, CodeVector), Gf2Error> {
+    if bytes.len() < FIXED_HEADER_BYTES {
+        return Err(Gf2Error::LengthMismatch {
+            left: bytes.len(),
+            right: FIXED_HEADER_BYTES,
+        });
+    }
+    let k = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    let m = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let needed = header_size(k);
+    if bytes.len() < needed {
+        return Err(Gf2Error::LengthMismatch { left: bytes.len(), right: needed });
+    }
+    let mut vector = CodeVector::zero(k);
+    for i in 0..k {
+        if bytes[FIXED_HEADER_BYTES + i / 8] >> (i % 8) & 1 == 1 {
+            vector.set(i);
+        }
+    }
+    Ok((k, m, vector))
+}
+
+/// Decodes a full frame back into an [`EncodedPacket`].
+///
+/// # Errors
+///
+/// Returns [`Gf2Error::LengthMismatch`] when the buffer is shorter than the
+/// header plus the advertised payload size.
+pub fn decode(bytes: &[u8]) -> Result<EncodedPacket, Gf2Error> {
+    let (k, m, vector) = decode_header(bytes)?;
+    let start = header_size(k);
+    let end = start + m;
+    if bytes.len() < end {
+        return Err(Gf2Error::LengthMismatch { left: bytes.len(), right: end });
+    }
+    let payload = Payload::from_slice(&bytes[start..end]);
+    Ok(EncodedPacket::new(vector, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pk(k: usize, indices: &[usize], payload: &[u8]) -> EncodedPacket {
+        EncodedPacket::new(CodeVector::from_indices(k, indices), Payload::from_slice(payload))
+    }
+
+    #[test]
+    fn header_size_matches_bitmap_rounding() {
+        assert_eq!(header_size(8), 8 + 1);
+        assert_eq!(header_size(9), 8 + 2);
+        assert_eq!(header_size(2048), 8 + 256);
+    }
+
+    #[test]
+    fn roundtrip_preserves_packet() {
+        let p = pk(19, &[0, 7, 8, 18], &[1, 2, 3, 4, 5]);
+        let bytes = encode(&p);
+        assert_eq!(bytes.len(), header_size(19) + 5);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn header_alone_is_enough_for_the_vector() {
+        let p = pk(40, &[3, 31, 39], &[9; 16]);
+        let bytes = encode(&p);
+        let header_only = &bytes[..header_size(40)];
+        let (k, m, vector) = decode_header(header_only).unwrap();
+        assert_eq!(k, 40);
+        assert_eq!(m, 16);
+        assert_eq!(&vector, p.vector());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let p = pk(16, &[1], &[7; 4]);
+        let bytes = encode(&p);
+        assert!(decode_header(&bytes[..4]).is_err());
+        assert!(decode_header(&bytes[..9]).is_err());
+        assert!(decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn zero_degree_and_empty_payload_roundtrip() {
+        let p = EncodedPacket::new(CodeVector::zero(5), Payload::zero(0));
+        let decoded = decode(&encode(&p)).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            k in 1usize..200,
+            indices in proptest::collection::vec(0usize..200, 0..20),
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let indices: Vec<usize> = indices.into_iter().map(|i| i % k).collect();
+            let p = pk(k, &indices, &payload);
+            let decoded = decode(&encode(&p)).unwrap();
+            prop_assert_eq!(decoded, p);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+use core::fmt;
+
+/// Errors produced by the LT encoder/decoder.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LtError {
+    /// The code length `k` must be at least 1.
+    EmptyCode,
+    /// The native packets handed to the encoder have inconsistent sizes.
+    InconsistentPayloadSizes {
+        /// Size of the first payload.
+        expected: usize,
+        /// Index of the first offending payload.
+        index: usize,
+        /// Its size.
+        found: usize,
+    },
+    /// A Soliton distribution parameter was out of range.
+    InvalidDistributionParameter {
+        /// Name of the parameter (`"c"` or `"delta"`).
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A packet with a different code length or payload size was inserted.
+    PacketMismatch {
+        /// Expected value (code length or payload size).
+        expected: usize,
+        /// Found value.
+        found: usize,
+    },
+    /// The requested native packet has not been decoded yet.
+    NotDecoded {
+        /// Index of the native packet.
+        index: usize,
+    },
+}
+
+impl fmt::Display for LtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LtError::EmptyCode => write!(f, "code length k must be at least 1"),
+            LtError::InconsistentPayloadSizes { expected, index, found } => write!(
+                f,
+                "native packet {index} has size {found}, expected {expected}"
+            ),
+            LtError::InvalidDistributionParameter { parameter, value } => {
+                write!(f, "invalid Soliton parameter {parameter} = {value}")
+            }
+            LtError::PacketMismatch { expected, found } => {
+                write!(f, "packet mismatch: expected {expected}, found {found}")
+            }
+            LtError::NotDecoded { index } => write!(f, "native packet {index} is not decoded yet"),
+        }
+    }
+}
+
+impl std::error::Error for LtError {}

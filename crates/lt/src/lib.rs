@@ -1,0 +1,60 @@
+//! LT (Luby Transform) erasure codes.
+//!
+//! This crate is the erasure-coding substrate of the LTNC reproduction. It
+//! provides the three ingredients of Luby's FOCS 2002 construction that the
+//! paper builds upon:
+//!
+//! * the [`IdealSoliton`] and [`RobustSoliton`] degree distributions
+//!   (Figure 2 of the paper is the Robust Soliton pmf);
+//! * the [`LtEncoder`], the *source-side* encoder that combines `d` native
+//!   packets chosen uniformly at random, with `d` drawn from the Robust
+//!   Soliton distribution;
+//! * the [`BpDecoder`], the belief-propagation (peeling) decoder operating on
+//!   a Tanner graph, recovering the `k` native packets in `O(m·k·log k)`
+//!   payload work when the degree properties hold.
+//!
+//! The decoder reports fine-grained [`DecodeEvent`]s so that the `ltnc-core`
+//! crate can maintain the auxiliary structures LTNC needs for recoding
+//! (degree index, connected components of degree-2 packets, …) without
+//! duplicating the peeling logic.
+//!
+//! # Example: source encoding and decoding
+//!
+//! ```
+//! use ltnc_lt::{LtEncoder, BpDecoder, RobustSoliton};
+//! use ltnc_gf2::Payload;
+//! use rand::SeedableRng;
+//! use rand::rngs::SmallRng;
+//!
+//! let k = 32;
+//! let natives: Vec<Payload> = (0..k)
+//!     .map(|i| Payload::from_vec(vec![i as u8; 16]))
+//!     .collect();
+//! let dist = RobustSoliton::new(k, 0.1, 0.5).unwrap();
+//! let mut encoder = LtEncoder::new(natives.clone(), dist).unwrap();
+//! let mut rng = SmallRng::seed_from_u64(7);
+//!
+//! let mut decoder = BpDecoder::new(k, 16);
+//! while !decoder.is_complete() {
+//!     let packet = encoder.encode(&mut rng);
+//!     decoder.insert(packet);
+//! }
+//! for i in 0..k {
+//!     assert_eq!(decoder.native(i).unwrap(), &natives[i]);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decoder;
+mod encoder;
+mod error;
+mod soliton;
+mod tanner;
+
+pub use decoder::{BpDecoder, DecodeEvent, InsertOutcome, InsertReport};
+pub use encoder::LtEncoder;
+pub use error::LtError;
+pub use soliton::{DegreeDistribution, IdealSoliton, RobustSoliton};
+pub use tanner::{PacketId, TannerGraph};

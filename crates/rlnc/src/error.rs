@@ -1,0 +1,39 @@
+use core::fmt;
+
+/// Errors produced by the RLNC baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RlncError {
+    /// Decoding was attempted before the code matrix reached full rank.
+    NotFullRank {
+        /// Current rank.
+        rank: usize,
+        /// Code length `k`.
+        needed: usize,
+    },
+    /// A packet with a different code length or payload size was received.
+    PacketMismatch {
+        /// Expected value (code length or payload size).
+        expected: usize,
+        /// Found value.
+        found: usize,
+    },
+    /// Recoding was requested but the node holds no packet at all.
+    NothingToRecode,
+}
+
+impl fmt::Display for RlncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlncError::NotFullRank { rank, needed } => {
+                write!(f, "code matrix not full rank: {rank} of {needed}")
+            }
+            RlncError::PacketMismatch { expected, found } => {
+                write!(f, "packet mismatch: expected {expected}, found {found}")
+            }
+            RlncError::NothingToRecode => write!(f, "no packet available to recode from"),
+        }
+    }
+}
+
+impl std::error::Error for RlncError {}

@@ -1,0 +1,269 @@
+use ltnc_gf2::{EncodedPacket, Payload};
+use ltnc_metrics::{OpCounters, OpKind};
+use rand::seq::index::sample as sample_indices;
+use rand::Rng;
+
+use crate::RlncError;
+
+/// The sparsity bound `⌈ln k⌉ + 20` used by the paper's RLNC baseline.
+///
+/// "The number of encoded packets involved in the recoding operation is
+/// bounded by a given parameter, namely the sparsity of the codes, set to
+/// ln k + 20" (§IV-A). Limiting the combination size keeps the per-packet
+/// recoding cost `O(m·(ln k + 20))` instead of `O(m·k)` without hurting the
+/// dissemination performance.
+#[must_use]
+pub fn sparsity_for(code_length: usize) -> usize {
+    (code_length.max(1) as f64).ln().ceil() as usize + 20
+}
+
+/// The RLNC recoding rule: XOR a random subset of the held packets.
+///
+/// The recoder owns the buffer of received innovative packets (the simulator's
+/// [`crate::RlncNode`] feeds it) and produces fresh encoded packets by
+/// combining `min(sparsity, buffer size)` of them chosen uniformly at random.
+#[derive(Debug, Clone)]
+pub struct SparseRecoder {
+    k: usize,
+    payload_size: usize,
+    sparsity: usize,
+    buffer: Vec<EncodedPacket>,
+    counters: OpCounters,
+}
+
+impl SparseRecoder {
+    /// Creates a recoder with the paper's default sparsity `ln k + 20`.
+    #[must_use]
+    pub fn new(k: usize, payload_size: usize) -> Self {
+        Self::with_sparsity(k, payload_size, sparsity_for(k))
+    }
+
+    /// Creates a recoder with an explicit sparsity bound (≥ 1).
+    #[must_use]
+    pub fn with_sparsity(k: usize, payload_size: usize, sparsity: usize) -> Self {
+        SparseRecoder {
+            k,
+            payload_size,
+            sparsity: sparsity.max(1),
+            buffer: Vec::new(),
+            counters: OpCounters::new(),
+        }
+    }
+
+    /// Code length `k`.
+    #[must_use]
+    pub fn code_length(&self) -> usize {
+        self.k
+    }
+
+    /// The sparsity bound in use.
+    #[must_use]
+    pub fn sparsity(&self) -> usize {
+        self.sparsity
+    }
+
+    /// Number of packets available for recoding.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The operation counters accumulated by recoding.
+    #[must_use]
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Adds a packet to the recoding buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlncError::PacketMismatch`] when the code length or payload
+    /// size does not match.
+    pub fn push(&mut self, packet: EncodedPacket) -> Result<(), RlncError> {
+        if packet.code_length() != self.k {
+            return Err(RlncError::PacketMismatch {
+                expected: self.k,
+                found: packet.code_length(),
+            });
+        }
+        if packet.payload_size() != self.payload_size {
+            return Err(RlncError::PacketMismatch {
+                expected: self.payload_size,
+                found: packet.payload_size(),
+            });
+        }
+        self.buffer.push(packet);
+        Ok(())
+    }
+
+    /// Produces a fresh encoded packet as a random GF(2) combination of the
+    /// buffered packets: at most `sparsity` candidate packets are drawn
+    /// uniformly, and each is included with an (independent) random 0/1
+    /// coefficient — the sparse random linear recoding of the paper.
+    ///
+    /// The combination may occasionally collapse to the zero vector (all
+    /// coefficients zero, or the selected packets cancel out); the recoder
+    /// then retries with fresh randomness a few times and finally falls back
+    /// to forwarding one buffered packet, mirroring the small non-innovation
+    /// probability the paper attributes to random linear codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlncError::NothingToRecode`] when the buffer is empty.
+    pub fn recode<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<EncodedPacket, RlncError> {
+        if self.buffer.is_empty() {
+            return Err(RlncError::NothingToRecode);
+        }
+        const MAX_RETRIES: usize = 4;
+        let candidates = self.sparsity.min(self.buffer.len());
+        for _ in 0..MAX_RETRIES {
+            let chosen = sample_indices(rng, self.buffer.len(), candidates);
+            let mut packet = EncodedPacket::new(
+                ltnc_gf2::CodeVector::zero(self.k),
+                Payload::zero(self.payload_size),
+            );
+            let mut combined = 0usize;
+            for i in chosen.iter() {
+                // Random GF(2) coefficient.
+                if rng.gen_bool(0.5) {
+                    packet.xor_assign(&self.buffer[i]);
+                    self.counters.incr(OpKind::PayloadXor);
+                    self.counters.incr(OpKind::VectorXor);
+                    combined += 1;
+                }
+            }
+            if combined > 0 && !packet.is_zero() {
+                return Ok(packet);
+            }
+        }
+        // Fallback: forward one buffered packet chosen at random.
+        let i = rng.gen_range(0..self.buffer.len());
+        self.counters.incr(OpKind::PayloadXor);
+        self.counters.incr(OpKind::VectorXor);
+        Ok(self.buffer[i].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltnc_gf2::CodeVector;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn natives(k: usize, m: usize) -> Vec<Payload> {
+        (0..k)
+            .map(|i| Payload::from_vec((0..m).map(|j| (i + 2 * j + 1) as u8).collect()))
+            .collect()
+    }
+
+    fn packet(k: usize, indices: &[usize], nat: &[Payload]) -> EncodedPacket {
+        let mut payload = Payload::zero(nat[0].len());
+        for &i in indices {
+            payload.xor_assign(&nat[i]);
+        }
+        EncodedPacket::new(CodeVector::from_indices(k, indices), payload)
+    }
+
+    #[test]
+    fn sparsity_matches_the_paper_formula() {
+        assert_eq!(sparsity_for(1), 20);
+        assert_eq!(sparsity_for(2048), (2048f64.ln().ceil() as usize) + 20);
+        assert_eq!(sparsity_for(2048), 28);
+        assert!(sparsity_for(4096) >= sparsity_for(512));
+    }
+
+    #[test]
+    fn recode_from_empty_buffer_fails() {
+        let mut r = SparseRecoder::new(8, 4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(r.recode(&mut rng).unwrap_err(), RlncError::NothingToRecode);
+    }
+
+    #[test]
+    fn push_rejects_mismatches() {
+        let mut r = SparseRecoder::new(8, 4);
+        let nat = natives(9, 4);
+        assert!(r.push(packet(9, &[0], &nat)).is_err());
+        let nat8 = natives(8, 5);
+        assert!(r.push(packet(8, &[0], &nat8)).is_err());
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn recoded_packet_is_consistent_combination() {
+        let k = 16;
+        let m = 8;
+        let nat = natives(k, m);
+        let mut r = SparseRecoder::new(k, m);
+        for i in 0..k {
+            r.push(packet(k, &[i, (i + 1) % k], &nat)).unwrap();
+        }
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let p = r.recode(&mut rng).unwrap();
+            // Invariant: payload equals XOR of natives named by the vector.
+            let mut expected = Payload::zero(m);
+            for i in p.vector().iter_ones() {
+                expected.xor_assign(&nat[i]);
+            }
+            assert_eq!(p.payload(), &expected);
+        }
+    }
+
+    #[test]
+    fn combination_size_respects_sparsity() {
+        let k = 64;
+        let m = 1;
+        let nat = natives(k, m);
+        let mut r = SparseRecoder::with_sparsity(k, m, 3);
+        for i in 0..k {
+            r.push(packet(k, &[i], &nat)).unwrap();
+        }
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let p = r.recode(&mut rng).unwrap();
+            // With unit packets and sparsity 3, the result combines 1 to 3 of them.
+            assert!(p.degree() <= 3 && p.degree() >= 1, "degree {}", p.degree());
+        }
+        assert!(r.counters().get(OpKind::PayloadXor) >= 50);
+    }
+
+    #[test]
+    fn recoded_packets_are_diverse_even_with_a_small_buffer() {
+        // Regression test: when the buffer is smaller than the sparsity bound
+        // the recoder must still produce varied combinations (a deterministic
+        // "XOR everything" output would stall every downstream receiver).
+        let k = 8;
+        let m = 1;
+        let nat = natives(k, m);
+        let mut r = SparseRecoder::new(k, m); // sparsity 23 ≥ buffer size
+        for i in 0..k {
+            r.push(packet(k, &[i], &nat)).unwrap();
+        }
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..64 {
+            distinct.insert(r.recode(&mut rng).unwrap().vector().ones());
+        }
+        assert!(distinct.len() > 10, "only {} distinct combinations", distinct.len());
+    }
+
+    #[test]
+    fn recode_with_single_packet_returns_it() {
+        let k = 8;
+        let nat = natives(k, 2);
+        let mut r = SparseRecoder::new(k, 2);
+        r.push(packet(k, &[2, 5], &nat)).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = r.recode(&mut rng).unwrap();
+        assert_eq!(p.vector().ones(), vec![2, 5]);
+    }
+
+    #[test]
+    fn sparsity_is_at_least_one() {
+        let r = SparseRecoder::with_sparsity(8, 2, 0);
+        assert_eq!(r.sparsity(), 1);
+    }
+}

@@ -1,0 +1,214 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A gossip-based peer sampling service in the spirit of Jelasity et al.,
+/// which the paper assumes as its underlying overlay ("packets are pushed to
+/// nodes picked uniformly at random in the network, using an underlying peer
+/// sampling service; the set of nodes to which a node pushes packets is
+/// renewed periodically in a gossip fashion").
+///
+/// Every node keeps a small partial view of the network. Each gossip period
+/// the views are refreshed by swapping random halves with a random neighbour,
+/// which keeps the overlay connected and the samples close to uniform. Push
+/// targets are drawn from the current view.
+#[derive(Debug, Clone)]
+pub struct PeerSampler {
+    nodes: usize,
+    view_size: usize,
+    views: Vec<Vec<usize>>,
+}
+
+impl PeerSampler {
+    /// Creates the sampler for `nodes` nodes with partial views of `view_size`
+    /// entries, initialised with uniformly random views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` or `view_size == 0`.
+    pub fn new<R: Rng + ?Sized>(nodes: usize, view_size: usize, rng: &mut R) -> Self {
+        assert!(nodes >= 2, "a network needs at least two nodes");
+        assert!(view_size >= 1, "views must hold at least one peer");
+        let view_size = view_size.min(nodes - 1);
+        let views = (0..nodes)
+            .map(|me| Self::random_view(me, nodes, view_size, rng))
+            .collect();
+        PeerSampler { nodes, view_size, views }
+    }
+
+    fn random_view<R: Rng + ?Sized>(me: usize, nodes: usize, view_size: usize, rng: &mut R) -> Vec<usize> {
+        let mut others: Vec<usize> = (0..nodes).filter(|&x| x != me).collect();
+        others.shuffle(rng);
+        others.truncate(view_size);
+        others
+    }
+
+    /// Number of nodes in the overlay.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The current partial view of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn view(&self, node: usize) -> &[usize] {
+        &self.views[node]
+    }
+
+    /// Samples a push target for `node` from its current view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn sample<R: Rng + ?Sized>(&self, node: usize, rng: &mut R) -> usize {
+        *self.views[node]
+            .choose(rng)
+            .expect("views are never empty")
+    }
+
+    /// One period of view shuffling, in the spirit of Cyclon / the gossip
+    /// peer-sampling service: every node exchanges a random half of its view
+    /// with a random neighbour, each side including its *own* address in the
+    /// gift (which keeps fresh links circulating and prevents the overlay from
+    /// partitioning into closed cliques). Both sides then absorb the gift,
+    /// preferring the fresh entries, and truncate back to the view size.
+    pub fn shuffle_views<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for me in 0..self.nodes {
+            let partner = self.sample(me, rng);
+            let half = (self.view_size / 2).max(1);
+
+            let mut mine = self.views[me].clone();
+            let mut theirs = self.views[partner].clone();
+            mine.shuffle(rng);
+            theirs.shuffle(rng);
+            let mut my_gift: Vec<usize> = mine.iter().copied().take(half).collect();
+            my_gift.push(me);
+            let mut their_gift: Vec<usize> = theirs.iter().copied().take(half).collect();
+            their_gift.push(partner);
+
+            Self::absorb(&mut self.views[me], &their_gift, me, self.view_size, rng);
+            Self::absorb(&mut self.views[partner], &my_gift, partner, self.view_size, rng);
+        }
+    }
+
+    /// Merges a gift into a view: fresh entries are kept, and when the view
+    /// overflows, entries that are *not* part of the gift are evicted first.
+    fn absorb<R: Rng + ?Sized>(view: &mut Vec<usize>, gift: &[usize], me: usize, view_size: usize, rng: &mut R) {
+        for &peer in gift {
+            if peer != me && !view.contains(&peer) {
+                view.push(peer);
+            }
+        }
+        while view.len() > view_size {
+            // Evict a random non-gift entry if one exists, otherwise any entry.
+            let evictable: Vec<usize> = (0..view.len())
+                .filter(|&i| !gift.contains(&view[i]))
+                .collect();
+            let idx = if evictable.is_empty() {
+                rng.gen_range(0..view.len())
+            } else {
+                evictable[rng.gen_range(0..evictable.len())]
+            };
+            view.swap_remove(idx);
+        }
+        view.shuffle(rng);
+        debug_assert!(!view.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn views_have_the_requested_size_and_no_self_loops() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ps = PeerSampler::new(50, 8, &mut rng);
+        assert_eq!(ps.nodes(), 50);
+        for me in 0..50 {
+            let view = ps.view(me);
+            assert_eq!(view.len(), 8);
+            assert!(!view.contains(&me));
+            let distinct: HashSet<_> = view.iter().collect();
+            assert_eq!(distinct.len(), view.len());
+        }
+    }
+
+    #[test]
+    fn view_size_is_clamped_to_network_size() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ps = PeerSampler::new(4, 100, &mut rng);
+        for me in 0..4 {
+            assert_eq!(ps.view(me).len(), 3);
+        }
+    }
+
+    #[test]
+    fn sample_returns_a_peer_from_the_view() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let ps = PeerSampler::new(20, 5, &mut rng);
+        for me in 0..20 {
+            for _ in 0..10 {
+                let peer = ps.sample(me, &mut rng);
+                assert!(ps.view(me).contains(&peer));
+                assert_ne!(peer, me);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffling_keeps_views_valid() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut ps = PeerSampler::new(30, 6, &mut rng);
+        for _ in 0..20 {
+            ps.shuffle_views(&mut rng);
+            for me in 0..30 {
+                let view = ps.view(me);
+                assert!(!view.is_empty());
+                assert!(view.len() <= 6);
+                assert!(!view.contains(&me));
+                let distinct: HashSet<_> = view.iter().collect();
+                assert_eq!(distinct.len(), view.len());
+            }
+        }
+    }
+
+    #[test]
+    fn shuffling_renews_views_over_time() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut ps = PeerSampler::new(40, 6, &mut rng);
+        let before: Vec<Vec<usize>> = (0..40).map(|i| ps.view(i).to_vec()).collect();
+        for _ in 0..10 {
+            ps.shuffle_views(&mut rng);
+        }
+        let changed = (0..40).filter(|&i| ps.view(i) != before[i].as_slice()).count();
+        assert!(changed > 20, "only {changed} views changed after shuffling");
+    }
+
+    #[test]
+    fn samples_cover_the_network_thanks_to_shuffling() {
+        // With view shuffling, a single node's samples over time should reach
+        // most of the network (close-to-uniform sampling).
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut ps = PeerSampler::new(30, 5, &mut rng);
+        let mut seen = HashSet::new();
+        for _ in 0..600 {
+            seen.insert(ps.sample(0, &mut rng));
+            ps.shuffle_views(&mut rng);
+        }
+        assert!(seen.len() > 22, "node 0 only ever sampled {} distinct peers", seen.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_degenerate_network() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        PeerSampler::new(1, 4, &mut rng);
+    }
+}

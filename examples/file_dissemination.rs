@@ -1,0 +1,51 @@
+//! File dissemination: an Avalanche-style swarm distributing a file from one
+//! source to a network of peers, comparing the three schemes of the paper's
+//! evaluation (WC, LTNC, RLNC) on convergence time, communication overhead and
+//! decoding cost. This is a scaled-down version of Figure 7; the `ltnc-bench`
+//! binaries produce the full figures.
+//!
+//! ```text
+//! cargo run --release -p ltnc-examples --bin file_dissemination
+//! ```
+
+use ltnc_metrics::CostModel;
+use ltnc_sim::{Engine, SchemeKind, SimConfig};
+
+fn main() {
+    let nodes = 100;
+    let k = 64;
+    let m = 64; // simulated payload bytes; costs are also modelled at 256 KB
+    println!("file dissemination: {nodes} peers, k = {k} blocks\n");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>16} {:>16}",
+        "scheme", "periods", "overhead %", "aborted", "decode ctrl cyc", "decode data cyc"
+    );
+
+    for scheme in SchemeKind::ALL {
+        let mut config = SimConfig::quick(scheme);
+        config.nodes = nodes;
+        config.code_length = k;
+        config.payload_size = m;
+        config.max_periods = 30_000;
+        let report = Engine::new(config).run();
+        assert!(report.content_verified, "every complete node must hold the original file");
+
+        // Model the data-plane cost as if blocks were the paper's 256 KB.
+        let model = CostModel::new(k, 256 * 1024);
+        let cost = report.cost_report(&model);
+        println!(
+            "{:<6} {:>10.0} {:>12.1} {:>12} {:>16.3e} {:>16.3e}",
+            report.scheme.label(),
+            report.avg_time_to_complete,
+            report.overhead_percent(),
+            report.transfers_aborted,
+            cost.decode_control_per_node,
+            cost.decode_data_per_byte * (k * 256 * 1024) as f64,
+        );
+    }
+
+    println!(
+        "\nexpected shape (paper): RLNC fastest, LTNC close behind with some overhead,\n\
+         WC slowest; LTNC's decoding cost is orders of magnitude below RLNC's."
+    );
+}

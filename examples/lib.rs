@@ -1,0 +1,62 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The examples are ordinary binaries (`cargo run -p ltnc-examples --bin
+//! quickstart`) that exercise the public API of the workspace crates on small,
+//! self-contained scenarios:
+//!
+//! * `quickstart` — encode, recode and decode a small content on a
+//!   source → relay → sink chain;
+//! * `file_dissemination` — an Avalanche-style file swarm: epidemic
+//!   dissemination of a file across a network, comparing WC, LTNC and RLNC;
+//! * `sensor_broadcast` — the sensor-network motivation of the paper: tiny
+//!   nodes, decode cost is what matters;
+//! * `storage_repair` — the self-healing distributed-storage outlook of the
+//!   paper's conclusion: regenerating lost LT-encoded blocks without decoding
+//!   the whole object.
+
+use ltnc_gf2::Payload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `k` pseudo-random native payloads of `m` bytes from a seed.
+#[must_use]
+pub fn random_content(k: usize, m: usize, seed: u64) -> Vec<Payload> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| {
+            let mut bytes = vec![0u8; m];
+            rng.fill(&mut bytes[..]);
+            Payload::from_vec(bytes)
+        })
+        .collect()
+}
+
+/// Pretty-prints a byte count.
+#[must_use]
+pub fn human_bytes(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    } else if bytes >= 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_content_is_deterministic() {
+        assert_eq!(random_content(4, 8, 1), random_content(4, 8, 1));
+        assert_ne!(random_content(4, 8, 1), random_content(4, 8, 2));
+    }
+
+    #[test]
+    fn human_bytes_picks_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the LTNC pipeline on a three-node chain.
+//!
+//! A source holds a small content, a relay recodes from *encoded* packets only
+//! (it never decodes first — that is the point of LT network codes), and a
+//! sink decodes with belief propagation. Run with:
+//!
+//! ```text
+//! cargo run -p ltnc-examples --bin quickstart
+//! ```
+
+use ltnc_core::{LtncConfig, LtncNode};
+use ltnc_examples::{human_bytes, random_content};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let k = 64; // native packets
+    let m = 1024; // bytes per packet
+    let content = random_content(k, m, 7);
+    println!(
+        "content: {} in {k} native packets of {}",
+        human_bytes(k * m),
+        human_bytes(m)
+    );
+
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut source = LtncNode::with_all_natives(k, m, &content, LtncConfig::default());
+    let mut relay = LtncNode::new(k, m);
+    let mut sink = LtncNode::new(k, m);
+
+    let mut source_packets = 0u64;
+    let mut relay_packets = 0u64;
+    while !sink.is_complete() {
+        // The source pushes a fresh LT-structured packet to the relay.
+        if let Some(packet) = source.recode(&mut rng) {
+            relay.receive(&packet);
+            source_packets += 1;
+        }
+        // The relay recodes from whatever encoded packets it holds and pushes
+        // to the sink — no decoding needed in the middle of the chain.
+        if relay.can_recode() {
+            if let Some(packet) = relay.recode(&mut rng) {
+                sink.receive(&packet);
+                relay_packets += 1;
+            }
+        }
+    }
+
+    let decoded = sink.decode().expect("sink is complete");
+    assert_eq!(decoded, content, "decoded content must match the original");
+
+    println!("source sent  : {source_packets} packets");
+    println!("relay sent   : {relay_packets} packets");
+    println!(
+        "relay decoded: {}/{k} natives (recoding does not require decoding)",
+        relay.decoded_count()
+    );
+    println!(
+        "sink decode  : {} payload XORs, {} Tanner-edge updates (belief propagation)",
+        sink.decoding_counters().data_ops(),
+        sink.decoding_counters().control_ops()
+    );
+    println!(
+        "sink degree-draw acceptance at relay: {:.1} % (paper reports ≈ 99.9 %)",
+        relay.stats().first_pick_accept_rate() * 100.0
+    );
+    println!("OK: content recovered bit-for-bit through an encoded-only relay");
+}

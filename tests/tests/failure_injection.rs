@@ -1,0 +1,175 @@
+//! Failure-injection tests: lossy links, node churn and adversarial packet
+//! mixes. The dissemination must keep making progress and decoded data must
+//! never be corrupted, whatever is dropped or duplicated.
+
+use ltnc_core::{LtncConfig, LtncNode};
+use ltnc_integration::{packet_of, random_content};
+use ltnc_rlnc::RlncNode;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn ltnc_survives_heavy_packet_loss() {
+    // 60 % of the packets on the source → sink link are lost; the rateless
+    // property means the sink still completes, just later.
+    let k = 64;
+    let m = 8;
+    let content = random_content(k, m, 1);
+    let mut source = LtncNode::with_all_natives(k, m, &content, LtncConfig::default());
+    let mut sink = LtncNode::new(k, m);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut sent = 0;
+    while !sink.is_complete() {
+        sent += 1;
+        assert!(sent < 200 * k, "sink did not converge under loss");
+        let p = source.recode(&mut rng).unwrap();
+        if rng.gen_bool(0.6) {
+            continue; // lost
+        }
+        sink.receive(&p);
+    }
+    assert_eq!(sink.decode().unwrap(), content);
+}
+
+#[test]
+fn rlnc_survives_heavy_packet_loss() {
+    let k = 48;
+    let m = 8;
+    let content = random_content(k, m, 3);
+    let mut source = RlncNode::new(k, m);
+    for (i, p) in content.iter().enumerate() {
+        source.receive(&ltnc_gf2::EncodedPacket::native(k, i, p.clone()));
+    }
+    let mut sink = RlncNode::new(k, m);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut sent = 0;
+    while !sink.is_complete() {
+        sent += 1;
+        assert!(sent < 200 * k, "sink did not converge under loss");
+        let p = source.recode(&mut rng).unwrap();
+        if rng.gen_bool(0.6) {
+            continue;
+        }
+        sink.receive(&p);
+    }
+    assert_eq!(sink.decode().unwrap(), content);
+}
+
+#[test]
+fn relay_churn_does_not_corrupt_content() {
+    // Relays crash and are replaced by empty ones mid-dissemination; the sink
+    // keeps decoding correct data and eventually completes thanks to the
+    // source still injecting.
+    let k = 48;
+    let m = 4;
+    let content = random_content(k, m, 5);
+    let mut source = LtncNode::with_all_natives(k, m, &content, LtncConfig::default());
+    let mut relays: Vec<LtncNode> = (0..4).map(|_| LtncNode::new(k, m)).collect();
+    let mut sink = LtncNode::new(k, m);
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mut rounds = 0;
+    while !sink.is_complete() {
+        rounds += 1;
+        assert!(rounds < 400 * k, "sink did not converge under churn");
+        // Occasionally crash a relay (lose all its state).
+        if rounds % 97 == 0 {
+            let victim = rng.gen_range(0..relays.len());
+            relays[victim] = LtncNode::new(k, m);
+        }
+        if let Some(p) = source.recode(&mut rng) {
+            let t = rng.gen_range(0..relays.len());
+            relays[t].receive(&p);
+        }
+        for i in 0..relays.len() {
+            if relays[i].can_recode() {
+                if let Some(p) = relays[i].recode(&mut rng) {
+                    sink.receive(&p);
+                }
+            }
+        }
+        for i in 0..k {
+            if let Some(v) = sink.native(i) {
+                assert_eq!(v, &content[i], "native {i} corrupted under churn");
+            }
+        }
+    }
+    assert_eq!(sink.decode().unwrap(), content);
+}
+
+#[test]
+fn duplicated_and_reordered_packets_are_harmless() {
+    let k = 32;
+    let m = 4;
+    let content = random_content(k, m, 7);
+    let mut source = LtncNode::with_all_natives(k, m, &content, LtncConfig::default());
+    let mut rng = SmallRng::seed_from_u64(8);
+    // Capture a window of packets, then deliver it shuffled with duplicates.
+    let mut window: Vec<_> = (0..6 * k).filter_map(|_| source.recode(&mut rng)).collect();
+    let duplicates: Vec<_> = window.iter().take(k).cloned().collect();
+    window.extend(duplicates);
+    use rand::seq::SliceRandom;
+    window.shuffle(&mut rng);
+
+    let mut sink = LtncNode::new(k, m);
+    for p in &window {
+        sink.receive(p);
+    }
+    assert!(sink.is_complete(), "sink should complete from the shuffled window");
+    assert_eq!(sink.decode().unwrap(), content);
+}
+
+#[test]
+fn zero_and_degenerate_packets_are_rejected_gracefully() {
+    let k = 16;
+    let m = 4;
+    let content = random_content(k, m, 9);
+    let mut node = LtncNode::new(k, m);
+    // A zero packet (degree 0) is redundant by definition.
+    let zero = ltnc_gf2::EncodedPacket::new(ltnc_gf2::CodeVector::zero(k), ltnc_gf2::Payload::zero(m));
+    assert_eq!(node.receive(&zero), ltnc_core::ReceiveOutcome::RejectedRedundant);
+    // Normal traffic still works afterwards.
+    node.receive(&packet_of(&content, k, &[0]));
+    assert!(node.is_decoded(0));
+}
+
+#[test]
+fn wc_scheme_is_the_fragile_baseline_under_loss() {
+    // Not a correctness test of WC (it always stays correct) but a shape
+    // check: under the same loss rate, the unencoded scheme needs many more
+    // transmissions than LTNC because lost natives must be retransmitted
+    // explicitly (coupon collector), while any LTNC packet is useful.
+    let k = 32;
+    let m = 4;
+    let content = random_content(k, m, 11);
+    let mut rng = SmallRng::seed_from_u64(12);
+
+    // WC: the source sends uniformly random natives; count transmissions until
+    // the sink holds all of them, with 50 % loss.
+    let mut have = vec![false; k];
+    let mut wc_sent = 0u64;
+    while have.iter().any(|h| !h) {
+        wc_sent += 1;
+        let i = rng.gen_range(0..k);
+        if rng.gen_bool(0.5) {
+            continue;
+        }
+        have[i] = true;
+    }
+
+    // LTNC under the same loss.
+    let mut source = LtncNode::with_all_natives(k, m, &content, LtncConfig::default());
+    let mut sink = LtncNode::new(k, m);
+    let mut ltnc_sent = 0u64;
+    while !sink.is_complete() {
+        ltnc_sent += 1;
+        let p = source.recode(&mut rng).unwrap();
+        if rng.gen_bool(0.5) {
+            continue;
+        }
+        sink.receive(&p);
+    }
+    assert!(
+        ltnc_sent < wc_sent * 2,
+        "LTNC ({ltnc_sent}) should not need dramatically more transmissions than WC ({wc_sent})"
+    );
+}

@@ -1,0 +1,151 @@
+//! Property-based integration tests of the LTNC recoding pipeline: whatever
+//! the node holds, recoded packets respect the on-the-wire invariant, never
+//! exceed the reachable degree, and keep the statistics belief propagation
+//! relies on.
+
+use ltnc_core::{LtncConfig, LtncNode};
+use ltnc_integration::{assert_packet_consistent, packet_of, random_content};
+use ltnc_lt::{DegreeDistribution, RobustSoliton};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recoded packets are always consistent linear combinations of the
+    /// original content, whatever mix of packets the node received.
+    #[test]
+    fn recoded_packets_are_consistent(
+        seed in any::<u64>(),
+        k in 8usize..48,
+        receptions in 4usize..64,
+    ) {
+        let m = 4;
+        let content = random_content(k, m, seed);
+        let mut node = LtncNode::new(k, m);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..receptions {
+            let degree = rng.gen_range(1..=k.min(5));
+            let mut indices = Vec::new();
+            while indices.len() < degree {
+                let x = rng.gen_range(0..k);
+                if !indices.contains(&x) {
+                    indices.push(x);
+                }
+            }
+            node.receive(&packet_of(&content, k, &indices));
+        }
+        for _ in 0..16 {
+            if let Some(p) = node.recode(&mut rng) {
+                assert_packet_consistent(&p, &content);
+                prop_assert!(p.degree() >= 1);
+                prop_assert!(p.degree() <= k);
+            }
+        }
+    }
+
+    /// A node holding everything emits degrees that follow the Robust Soliton
+    /// distribution closely (within a generous statistical tolerance).
+    #[test]
+    fn full_node_degree_distribution_tracks_soliton(seed in any::<u64>(), k in 32usize..96) {
+        let m = 1;
+        let content = random_content(k, m, seed);
+        let mut node = LtncNode::with_all_natives(k, m, &content, LtncConfig::default());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 800;
+        let mut degree_one_or_two = 0;
+        let mut total_degree = 0usize;
+        for _ in 0..n {
+            let p = node.recode(&mut rng).unwrap();
+            total_degree += p.degree();
+            if p.degree() <= 2 {
+                degree_one_or_two += 1;
+            }
+        }
+        let soliton = RobustSoliton::for_code_length(k).unwrap();
+        let expected_low = soliton.pmf(1) + soliton.pmf(2);
+        let observed_low = degree_one_or_two as f64 / n as f64;
+        prop_assert!(
+            (observed_low - expected_low).abs() < 0.1,
+            "low-degree mass {} vs expected {}", observed_low, expected_low
+        );
+        let mean = total_degree as f64 / n as f64;
+        prop_assert!(mean < 3.0 * (k as f64).ln() + 2.0, "mean degree {} too high", mean);
+    }
+
+    /// The redundancy detector never rejects an innovative packet: any packet
+    /// it flags can indeed be generated from the node's holdings, so dropping
+    /// it can never hurt decodability.
+    #[test]
+    fn redundancy_detection_is_sound(seed in any::<u64>(), k in 6usize..24) {
+        let m = 2;
+        let content = random_content(k, m, seed);
+        let mut detecting = LtncNode::new(k, m);
+        let mut reference = LtncNode::with_config(
+            k, m, LtncConfig::default().without_redundancy_detection());
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x55);
+        for _ in 0..6 * k {
+            let degree = rng.gen_range(1..=3.min(k));
+            let mut indices = Vec::new();
+            while indices.len() < degree {
+                let x = rng.gen_range(0..k);
+                if !indices.contains(&x) {
+                    indices.push(x);
+                }
+            }
+            let p = packet_of(&content, k, &indices);
+            detecting.receive(&p);
+            reference.receive(&p);
+            // Dropping detected-redundant packets must never lose information:
+            // the detecting node decodes at least as much as the reference at
+            // every step... and in fact exactly as much, because a generatable
+            // packet adds nothing to the span.
+            prop_assert_eq!(detecting.decoded_count(), reference.decoded_count());
+        }
+    }
+}
+
+#[test]
+fn refinement_keeps_native_occurrences_balanced_across_relays() {
+    // A chain of relays, each recoding from partial knowledge: the occurrence
+    // spread at every relay stays far below what unrefined selection gives.
+    let k = 96;
+    let m = 2;
+    let content = random_content(k, m, 99);
+    let mut source = LtncNode::with_all_natives(k, m, &content, LtncConfig::default());
+    let mut relays: Vec<LtncNode> = (0..3).map(|_| LtncNode::new(k, m)).collect();
+    let mut rng = SmallRng::seed_from_u64(17);
+    for _ in 0..40 * k {
+        if let Some(p) = source.recode(&mut rng) {
+            relays[0].receive(&p);
+        }
+        for i in 0..relays.len() {
+            if relays[i].can_recode() {
+                if let Some(p) = relays[i].recode(&mut rng) {
+                    if i + 1 < relays.len() {
+                        relays[i + 1].receive(&p);
+                    }
+                }
+            }
+        }
+        if relays.iter().all(|r| r.is_complete()) {
+            break;
+        }
+    }
+    for (i, relay) in relays.iter().enumerate() {
+        // Deeper relays recode from fewer packets, so their spread is naturally
+        // larger; the bound scales with how much they actually sent. A node
+        // picking natives uniformly at random would sit near 1/sqrt(mean
+        // occurrences); refinement must stay clearly below a constant spread.
+        if relay.stats().recoded_packets > 100 {
+            let spread = relay.occurrence_spread();
+            assert!(
+                spread.relative_std_dev < 1.0,
+                "relay {i}: occurrence spread {} too large (sent {} packets)",
+                spread.relative_std_dev,
+                relay.stats().recoded_packets
+            );
+        }
+    }
+}
