@@ -40,11 +40,7 @@ fn ltnc_transfer(k: usize, m: usize, config: LtncConfig, seed: u64) -> (u64, f64
         sent += 1;
         assert!(sent < 200 * k as u64, "transfer did not converge");
     }
-    (
-        sent,
-        source.occurrence_spread().relative_std_dev,
-        sink.stats().redundant_missed,
-    )
+    (sent, source.occurrence_spread().relative_std_dev, sink.stats().redundant_missed)
 }
 
 fn refinement_ablation(options: &HarnessOptions) {
@@ -177,7 +173,10 @@ fn sparsity_ablation(options: &HarnessOptions) {
         ]);
     }
     print_table(
-        &format!("Ablation: RLNC sparsity (k = {k}, paper setting ln k + 20 = {})", ltnc_rlnc::sparsity_for(k)),
+        &format!(
+            "Ablation: RLNC sparsity (k = {k}, paper setting ln k + 20 = {})",
+            ltnc_rlnc::sparsity_for(k)
+        ),
         &["sparsity", "packets sent to decode", "payload XORs per recode"],
         &rows,
     );
@@ -185,7 +184,11 @@ fn sparsity_ablation(options: &HarnessOptions) {
 
 fn main() {
     let options = HarnessOptions::from_env();
-    println!("LTNC ablation studies (mode: {}, runs: {})", if options.full { "full" } else { "quick" }, options.runs);
+    println!(
+        "LTNC ablation studies (mode: {}, runs: {})",
+        if options.full { "full" } else { "quick" },
+        options.runs
+    );
     refinement_ablation(&options);
     redundancy_ablation(&options);
     feedback_ablation(&options);

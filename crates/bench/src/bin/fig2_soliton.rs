@@ -16,11 +16,14 @@ fn main() {
     let k = if options.full { 2048 } else { 1000 };
     let dist = RobustSoliton::for_code_length(k).expect("valid parameters");
 
-    println!("Figure 2 — Robust Soliton distribution (k = {k}, c = {}, delta = {})", dist.c(), dist.delta());
+    println!(
+        "Figure 2 — Robust Soliton distribution (k = {k}, c = {}, delta = {})",
+        dist.c(),
+        dist.delta()
+    );
 
-    let rows: Vec<Vec<String>> = (1..=16)
-        .map(|d| vec![d.to_string(), format!("{:.6e}", dist.pmf(d))])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        (1..=16).map(|d| vec![d.to_string(), format!("{:.6e}", dist.pmf(d))]).collect();
     print_table("Robust Soliton pmf (low degrees)", &["degree", "probability"], &rows);
 
     let summary_rows = vec![

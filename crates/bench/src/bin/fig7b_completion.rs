@@ -33,17 +33,16 @@ fn main() {
         options.runs
     );
 
-    let mut series: Vec<TimeSeries> = SchemeKind::ALL
-        .iter()
-        .map(|s| TimeSeries::new(s.label()))
-        .collect();
+    let mut series: Vec<TimeSeries> =
+        SchemeKind::ALL.iter().map(|s| TimeSeries::new(s.label())).collect();
     let mut rows = Vec::new();
     for &k in &sweep {
         let mut row = vec![k.to_string()];
         for (i, &scheme) in SchemeKind::ALL.iter().enumerate() {
             let mut avg = 0.0;
             for run in 0..options.runs {
-                let report = Engine::new(config(&options, scheme, k, options.seed + run as u64)).run();
+                let report =
+                    Engine::new(config(&options, scheme, k, options.seed + run as u64)).run();
                 avg += report.avg_time_to_complete;
             }
             avg /= options.runs as f64;
@@ -53,9 +52,8 @@ fn main() {
         rows.push(row);
     }
 
-    let headers: Vec<&str> = std::iter::once("k")
-        .chain(SchemeKind::ALL.iter().map(|s| s.label()))
-        .collect();
+    let headers: Vec<&str> =
+        std::iter::once("k").chain(SchemeKind::ALL.iter().map(|s| s.label())).collect();
     print_table("Average time to complete (gossip periods)", &headers, &rows);
 
     // Relative overhead of LTNC vs RLNC (the paper reports ≈ +30 % that
@@ -64,10 +62,7 @@ fn main() {
     for &k in &sweep {
         let ltnc = series[1].y_at(k as f64).unwrap_or(f64::NAN);
         let rlnc = series[2].y_at(k as f64).unwrap_or(f64::NAN);
-        ratio_rows.push(vec![
-            k.to_string(),
-            fmt_f((ltnc / rlnc - 1.0) * 100.0, 1),
-        ]);
+        ratio_rows.push(vec![k.to_string(), fmt_f((ltnc / rlnc - 1.0) * 100.0, 1)]);
     }
     print_table("LTNC completion-time overhead vs RLNC (%)", &["k", "overhead %"], &ratio_rows);
 

@@ -46,7 +46,8 @@ fn main() {
             let mut aborted = 0u64;
             let mut delivered = 0u64;
             for run in 0..options.runs {
-                let report = Engine::new(config(&options, scheme, k, options.seed + run as u64)).run();
+                let report =
+                    Engine::new(config(&options, scheme, k, options.seed + run as u64)).run();
                 overhead += report.overhead_percent();
                 aborted += report.transfers_aborted;
                 delivered += report.payloads_delivered;
@@ -55,10 +56,7 @@ fn main() {
             if scheme == SchemeKind::Ltnc {
                 ltnc_series.push(k as f64, overhead);
                 row.push(fmt_f(overhead, 1));
-                row.push(fmt_f(
-                    100.0 * aborted as f64 / (aborted + delivered).max(1) as f64,
-                    1,
-                ));
+                row.push(fmt_f(100.0 * aborted as f64 / (aborted + delivered).max(1) as f64, 1));
             } else {
                 row.push(fmt_f(overhead, 1));
             }

@@ -156,10 +156,9 @@ fn main() {
     );
 
     // Headline: decode reduction of LTNC vs RLNC at the largest k.
-    if let (Some(&(_, ltnc_total)), Some(&(_, rlnc_total))) = (
-        fig8d[0].points().last(),
-        fig8d[1].points().last(),
-    ) {
+    if let (Some(&(_, ltnc_total)), Some(&(_, rlnc_total))) =
+        (fig8d[0].points().last(), fig8d[1].points().last())
+    {
         let reduction = (1.0 - ltnc_total / rlnc_total) * 100.0;
         println!(
             "\nheadline: LTNC reduces decoding data cost by {reduction:.1}% vs RLNC at k = {}",

@@ -183,8 +183,12 @@ mod tests {
 
     #[test]
     fn sweeps_are_increasing_and_mode_dependent() {
-        for sweep in [code_length_sweep(false), code_length_sweep(true),
-                      cost_code_length_sweep(false), cost_code_length_sweep(true)] {
+        for sweep in [
+            code_length_sweep(false),
+            code_length_sweep(true),
+            cost_code_length_sweep(false),
+            cost_code_length_sweep(true),
+        ] {
             assert!(sweep.windows(2).all(|w| w[0] < w[1]));
         }
         assert!(code_length_sweep(true).contains(&2048));

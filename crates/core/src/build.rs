@@ -20,7 +20,11 @@ impl LtncNode {
     /// degree starting from `target` and skipping any candidate whose
     /// inclusion would not increase the degree or would overshoot it
     /// (collision avoidance).
-    pub(crate) fn build_packet<R: Rng + ?Sized>(&mut self, target: usize, rng: &mut R) -> EncodedPacket {
+    pub(crate) fn build_packet<R: Rng + ?Sized>(
+        &mut self,
+        target: usize,
+        rng: &mut R,
+    ) -> EncodedPacket {
         let mut vector = CodeVector::zero(self.k);
         let mut payload = Payload::zero(self.payload_size);
 
@@ -69,17 +73,9 @@ impl LtncNode {
     /// for the initial clamp.
     fn candidates_of_degree(&self, degree: usize, _target: usize) -> Vec<Candidate> {
         if degree == 1 {
-            self.cc
-                .decoded_members()
-                .iter()
-                .map(|&x| Candidate::Native(x))
-                .collect()
+            self.cc.decoded_members().iter().map(|&x| Candidate::Native(x)).collect()
         } else {
-            self.degree_index
-                .bucket(degree)
-                .iter()
-                .map(|&id| Candidate::Buffered(id))
-                .collect()
+            self.degree_index.bucket(degree).iter().map(|&id| Candidate::Buffered(id)).collect()
         }
     }
 }
@@ -92,9 +88,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn natives(k: usize, m: usize) -> Vec<Payload> {
-        (0..k)
-            .map(|i| Payload::from_vec((0..m).map(|j| (i * 5 + j + 1) as u8).collect()))
-            .collect()
+        (0..k).map(|i| Payload::from_vec((0..m).map(|j| (i * 5 + j + 1) as u8).collect())).collect()
     }
 
     fn packet(k: usize, indices: &[usize], nat: &[Payload]) -> EncodedPacket {

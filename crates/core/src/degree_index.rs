@@ -76,10 +76,7 @@ impl DegreeIndex {
     ///
     /// Panics if the id is already indexed (packets are inserted exactly once).
     pub fn insert(&mut self, id: PacketId, degree: usize) {
-        assert!(
-            !self.positions.contains_key(&id),
-            "packet {id:?} is already indexed"
-        );
+        assert!(!self.positions.contains_key(&id), "packet {id:?} is already indexed");
         if degree >= self.buckets.len() {
             self.buckets.resize(degree + 1, Vec::new());
         }
@@ -94,10 +91,8 @@ impl DegreeIndex {
     ///
     /// Panics if the id is not indexed.
     pub fn update(&mut self, id: PacketId, new_degree: usize) {
-        let (old_degree, _) = *self
-            .positions
-            .get(&id)
-            .unwrap_or_else(|| panic!("packet {id:?} is not indexed"));
+        let (old_degree, _) =
+            *self.positions.get(&id).unwrap_or_else(|| panic!("packet {id:?} is not indexed"));
         if old_degree == new_degree {
             return;
         }
@@ -124,12 +119,7 @@ impl DegreeIndex {
     /// the caller since decoded packets have degree 1).
     #[must_use]
     pub fn degree_mass_up_to(&self, cap: usize) -> usize {
-        self.buckets
-            .iter()
-            .enumerate()
-            .take(cap + 1)
-            .map(|(d, bucket)| d * bucket.len())
-            .sum()
+        self.buckets.iter().enumerate().take(cap + 1).map(|(d, bucket)| d * bucket.len()).sum()
     }
 
     /// Iterates over all indexed ids, lowest degree first (order within a

@@ -36,13 +36,13 @@ impl LtncNode {
         // component of its first visited member; a second member landing in a
         // different receiver component yields an innovative pair.
         let mut sigma: Vec<Option<(usize, usize)>> = vec![None; self.k + 1];
-        for i in 0..self.k {
+        for (i, &receiver_label_i) in receiver_labels.iter().enumerate().take(self.k) {
             self.recode_counters.incr(OpKind::RedundancyCheck);
             let sender_label = self.cc.label_of(i);
             match sigma[sender_label] {
-                None => sigma[sender_label] = Some((receiver_labels[i], i)),
+                None => sigma[sender_label] = Some((receiver_label_i, i)),
                 Some((receiver_label, representative)) => {
-                    if receiver_label != receiver_labels[i] {
+                    if receiver_label != receiver_label_i {
                         if let Some(pair) = self.pair_packet(representative, i) {
                             return Some(pair);
                         }

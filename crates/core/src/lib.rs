@@ -231,8 +231,8 @@ mod node_tests {
             sent += 1;
             assert!(sent < 40 * k, "BP decoder did not converge");
         }
-        for i in 0..k {
-            assert_eq!(decoder.native(i), Some(&nat[i]));
+        for (i, expected) in nat.iter().enumerate() {
+            assert_eq!(decoder.native(i), Some(expected));
         }
     }
 
@@ -429,9 +429,9 @@ mod node_tests {
                 if send_duplicates {
                     node.receive(&p);
                 }
-                for i in 0..k {
+                for (i, expected) in nat.iter().enumerate() {
                     if let Some(v) = node.native(i) {
-                        prop_assert_eq!(v, &nat[i]);
+                        prop_assert_eq!(v, expected);
                     }
                 }
             }

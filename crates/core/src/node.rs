@@ -5,7 +5,9 @@ use ltnc_lt::{BpDecoder, DecodeEvent, InsertOutcome, LtError, PacketId, RobustSo
 use ltnc_metrics::{OpCounters, OpKind};
 use rand::Rng;
 
-use crate::{ComponentTracker, DegreeIndex, LtncConfig, OccurrenceSpread, OccurrenceTracker, RecodeStats};
+use crate::{
+    ComponentTracker, DegreeIndex, LtncConfig, OccurrenceSpread, OccurrenceTracker, RecodeStats,
+};
 
 /// What happened to a packet handed to [`LtncNode::receive`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,7 +122,12 @@ impl LtncNode {
     /// Panics if the number of payloads differs from `k` or their sizes differ
     /// from `payload_size`.
     #[must_use]
-    pub fn with_all_natives(k: usize, payload_size: usize, natives: &[Payload], config: LtncConfig) -> Self {
+    pub fn with_all_natives(
+        k: usize,
+        payload_size: usize,
+        natives: &[Payload],
+        config: LtncConfig,
+    ) -> Self {
         assert_eq!(natives.len(), k, "expected {k} native payloads");
         let mut node = Self::with_config(k, payload_size, config);
         for (i, payload) in natives.iter().enumerate() {
@@ -255,10 +262,7 @@ impl LtncNode {
             }
         }
 
-        let report = self
-            .decoder
-            .insert(packet.clone())
-            .expect("packet shape was checked above");
+        let report = self.decoder.insert(packet.clone()).expect("packet shape was checked above");
         self.charge_decoder_deltas();
         self.apply_events(&report.events);
         self.stats.accepted += 1;
@@ -295,11 +299,7 @@ impl LtncNode {
         }
         self.stats.relative_deviation_sum += (target - achieved) as f64 / target as f64;
 
-        let refined = if self.config.refine {
-            self.refine_packet(built)
-        } else {
-            built
-        };
+        let refined = if self.config.refine { self.refine_packet(built) } else { built };
         self.occurrences.record_sent(refined.vector());
         self.recode_counters.incr(OpKind::IndexUpdate);
         Some(refined)
@@ -310,10 +310,8 @@ impl LtncNode {
     fn charge_decoder_deltas(&mut self) {
         let payload_ops = self.decoder.payload_xor_ops();
         let edge_ops = self.decoder.edge_updates();
-        self.decode_counters
-            .add(OpKind::PayloadXor, payload_ops - self.last_decoder_payload_ops);
-        self.decode_counters
-            .add(OpKind::TannerEdgeUpdate, edge_ops - self.last_decoder_edge_ops);
+        self.decode_counters.add(OpKind::PayloadXor, payload_ops - self.last_decoder_payload_ops);
+        self.decode_counters.add(OpKind::TannerEdgeUpdate, edge_ops - self.last_decoder_edge_ops);
         self.last_decoder_payload_ops = payload_ops;
         self.last_decoder_edge_ops = edge_ops;
     }

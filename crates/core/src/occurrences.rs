@@ -20,10 +20,7 @@ impl OccurrenceTracker {
     /// Creates a tracker over `k` natives with all counts at zero.
     #[must_use]
     pub fn new(k: usize) -> Self {
-        OccurrenceTracker {
-            counts: vec![0; k],
-            packets_sent: 0,
-        }
+        OccurrenceTracker { counts: vec![0; k], packets_sent: 0 }
     }
 
     /// Code length `k`.
@@ -72,7 +69,12 @@ impl OccurrenceTracker {
     /// Ties are broken by the smallest index. Returns `None` when no candidate
     /// qualifies — the refinement step then leaves `reference` in place.
     #[must_use]
-    pub fn best_substitute<F>(&self, reference: usize, candidates: &[usize], allowed: F) -> Option<usize>
+    pub fn best_substitute<F>(
+        &self,
+        reference: usize,
+        candidates: &[usize],
+        allowed: F,
+    ) -> Option<usize>
     where
         F: Fn(usize) -> bool,
     {

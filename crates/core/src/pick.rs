@@ -54,10 +54,7 @@ impl LtncNode {
         // Fallback: the largest degree both heuristics accept. At least one
         // degree is reachable because `can_recode()` held when recoding started.
         let max_candidate = coverage.last().copied().unwrap_or(0).max(1);
-        (1..=max_candidate)
-            .rev()
-            .find(|&d| reachable(d))
-            .unwrap_or(1)
+        (1..=max_candidate).rev().find(|&d| reachable(d)).unwrap_or(1)
     }
 
     /// `coverage[d]` = number of natives that are decoded or appear in at
@@ -67,9 +64,9 @@ impl LtncNode {
         let max_degree = self.degree_index.max_degree().unwrap_or(0);
         let mut covered = vec![false; self.k];
         let mut count = 0usize;
-        for x in 0..self.k {
+        for (x, slot) in covered.iter_mut().enumerate() {
             if self.decoder.is_decoded(x) {
-                covered[x] = true;
+                *slot = true;
                 count += 1;
             }
         }
@@ -105,9 +102,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn natives(k: usize, m: usize) -> Vec<Payload> {
-        (0..k)
-            .map(|i| Payload::from_vec((0..m).map(|j| (i * 3 + j + 1) as u8).collect()))
-            .collect()
+        (0..k).map(|i| Payload::from_vec((0..m).map(|j| (i * 3 + j + 1) as u8).collect())).collect()
     }
 
     fn packet(k: usize, indices: &[usize], nat: &[Payload]) -> EncodedPacket {
@@ -151,7 +146,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..200 {
             let d = node.pick_degree(&mut rng);
-            assert!(d >= 1 && d <= 4, "picked unreachable degree {d}");
+            assert!((1..=4).contains(&d), "picked unreachable degree {d}");
         }
     }
 

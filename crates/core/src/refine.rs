@@ -26,9 +26,9 @@ impl LtncNode {
             }
             // Candidates: same component, strictly less frequent, not already in z'.
             let candidates: Vec<usize> = self.cc.members_of(x).to_vec();
-            let Some(best) = self.occurrences.best_substitute(x, &candidates, |c| {
-                !refined.vector().contains(c)
-            }) else {
+            let Some(best) =
+                self.occurrences.best_substitute(x, &candidates, |c| !refined.vector().contains(c))
+            else {
                 continue;
             };
             let Some(pair) = self.pair_packet(x, best) else {
@@ -126,7 +126,7 @@ mod tests {
         let mut node = LtncNode::new(k, m);
         node.receive(&packet(k, &[2, 4], &nat)); // y4 = x3 ⊕ x5
         node.receive(&packet(k, &[4, 6], &nat)); // y6 = x5 ⊕ x7
-        // Occurrence counts: x3 (index 2) frequent, x7 (index 6) never sent.
+                                                 // Occurrence counts: x3 (index 2) frequent, x7 (index 6) never sent.
         for _ in 0..4 {
             node.occurrences.record_sent(&CodeVector::from_indices(k, &[2]));
         }

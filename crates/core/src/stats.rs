@@ -86,10 +86,7 @@ impl RecodeStats {
     /// redundant insertions).
     #[must_use]
     pub fn redundancy_catch_rate(&self) -> f64 {
-        ratio(
-            self.redundant_rejected,
-            self.redundant_rejected + self.redundant_missed,
-        )
+        ratio(self.redundant_rejected, self.redundant_rejected + self.redundant_missed)
     }
 
     /// Merges the statistics of another node (for network-wide aggregates).
@@ -127,10 +124,7 @@ impl OccurrenceSpread {
     /// Builds the snapshot from a summary of per-native occurrence counts.
     #[must_use]
     pub fn from_summary(summary: &Summary) -> Self {
-        OccurrenceSpread {
-            mean: summary.mean(),
-            relative_std_dev: summary.relative_std_dev(),
-        }
+        OccurrenceSpread { mean: summary.mean(), relative_std_dev: summary.relative_std_dev() }
     }
 }
 

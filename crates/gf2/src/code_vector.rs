@@ -32,10 +32,7 @@ impl CodeVector {
     #[must_use]
     pub fn zero(len: usize) -> Self {
         let n_words = len.div_ceil(WORD_BITS);
-        CodeVector {
-            len,
-            words: vec![0; n_words],
-        }
+        CodeVector { len, words: vec![0; n_words] }
     }
 
     /// Creates a vector with exactly one bit set: the native packet `index`.
@@ -138,10 +135,7 @@ impl CodeVector {
     ///
     /// Panics if the lengths differ.
     pub fn xor_assign(&mut self, other: &CodeVector) {
-        assert_eq!(
-            self.len, other.len,
-            "cannot combine code vectors of different lengths"
-        );
+        assert_eq!(self.len, other.len, "cannot combine code vectors of different lengths");
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a ^= *b;
         }
@@ -154,10 +148,7 @@ impl CodeVector {
     /// Returns [`Gf2Error::LengthMismatch`] when the code lengths differ.
     pub fn try_xor_assign(&mut self, other: &CodeVector) -> Result<(), Gf2Error> {
         if self.len != other.len {
-            return Err(Gf2Error::LengthMismatch {
-                left: self.len,
-                right: other.len,
-            });
+            return Err(Gf2Error::LengthMismatch { left: self.len, right: other.len });
         }
         self.xor_assign(other);
         Ok(())
@@ -187,11 +178,7 @@ impl CodeVector {
     #[must_use]
     pub fn xor_degree(&self, other: &CodeVector) -> usize {
         assert_eq!(self.len, other.len);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
     /// Number of native packets present in both combinations (`|self ∩ other|`).
@@ -202,11 +189,7 @@ impl CodeVector {
     #[must_use]
     pub fn intersection_size(&self, other: &CodeVector) -> usize {
         assert_eq!(self.len, other.len);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Returns `true` when every native packet of `self` also appears in `other`.
@@ -222,9 +205,10 @@ impl CodeVector {
 
     /// Iterates over the indices of the native packets involved, in increasing order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            OnesInWord { word, base: wi * WORD_BITS }
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| OnesInWord { word, base: wi * WORD_BITS })
     }
 
     /// Collects the indices of the native packets involved.
@@ -358,10 +342,7 @@ mod tests {
     fn try_xor_assign_rejects_length_mismatch() {
         let mut a = CodeVector::zero(10);
         let b = CodeVector::zero(11);
-        assert_eq!(
-            a.try_xor_assign(&b),
-            Err(Gf2Error::LengthMismatch { left: 10, right: 11 })
-        );
+        assert_eq!(a.try_xor_assign(&b), Err(Gf2Error::LengthMismatch { left: 10, right: 11 }));
     }
 
     #[test]

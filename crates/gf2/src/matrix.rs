@@ -38,12 +38,7 @@ impl Gf2Matrix {
     /// Creates an empty matrix over `k` unknowns (rank 0).
     #[must_use]
     pub fn new(k: usize) -> Self {
-        Gf2Matrix {
-            k,
-            rows: Vec::new(),
-            pivots: vec![None; k],
-            row_ops: 0,
-        }
+        Gf2Matrix { k, rows: Vec::new(), pivots: vec![None; k], row_ops: 0 }
     }
 
     /// Number of unknowns (code length `k`).
@@ -95,17 +90,9 @@ impl Gf2Matrix {
         if let Some(pivot) = reduced.first_one() {
             self.pivots[pivot] = Some(self.rows.len());
             self.rows.push(reduced);
-            RowEchelonReport {
-                innovative: true,
-                rank: self.rank(),
-                row_ops: ops,
-            }
+            RowEchelonReport { innovative: true, rank: self.rank(), row_ops: ops }
         } else {
-            RowEchelonReport {
-                innovative: false,
-                rank: self.rank(),
-                row_ops: ops,
-            }
+            RowEchelonReport { innovative: false, rank: self.rank(), row_ops: ops }
         }
     }
 
@@ -282,10 +269,7 @@ impl Gf2Solver {
     /// have been inserted.
     pub fn solve(&mut self) -> Result<Vec<CodeVector>, Gf2Error> {
         if !self.is_full_rank() {
-            return Err(Gf2Error::NotFullRank {
-                rank: self.rank(),
-                needed: self.k,
-            });
+            return Err(Gf2Error::NotFullRank { rank: self.rank(), needed: self.k });
         }
         // Back-substitution: process pivot columns from highest to lowest and
         // eliminate that column from every other row.
@@ -296,8 +280,7 @@ impl Gf2Solver {
             .collect();
         for col in (0..self.k).rev() {
             let src = pivot_of_col[col];
-            for other_col in 0..col {
-                let dst = pivot_of_col[other_col];
+            for &dst in &pivot_of_col[..col] {
                 if rows[dst].contains(col) {
                     let (src_row, src_combo) = (rows[src].clone(), combos[src].clone());
                     rows[dst].xor_assign(&src_row);

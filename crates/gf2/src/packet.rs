@@ -29,10 +29,7 @@ impl EncodedPacket {
     /// Panics if `index >= k`.
     #[must_use]
     pub fn native(k: usize, index: usize, payload: Payload) -> Self {
-        EncodedPacket {
-            vector: CodeVector::singleton(k, index),
-            payload,
-        }
+        EncodedPacket { vector: CodeVector::singleton(k, index), payload }
     }
 
     /// The code vector (bitmap header) of this packet.

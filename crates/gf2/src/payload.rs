@@ -171,10 +171,7 @@ mod tests {
     fn try_xor_assign_rejects_size_mismatch() {
         let mut a = Payload::zero(4);
         let b = Payload::zero(5);
-        assert_eq!(
-            a.try_xor_assign(&b),
-            Err(Gf2Error::LengthMismatch { left: 4, right: 5 })
-        );
+        assert_eq!(a.try_xor_assign(&b), Err(Gf2Error::LengthMismatch { left: 4, right: 5 }));
     }
 
     #[test]

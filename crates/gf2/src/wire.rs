@@ -27,19 +27,56 @@ pub fn header_size(code_length: usize) -> usize {
     FIXED_HEADER_BYTES + code_length.div_ceil(8)
 }
 
-/// Serializes a packet into the wire format described in the module docs.
+/// Incremental ("sans-io") sizing: given any prefix of a frame, returns how
+/// many bytes the *complete* frame occupies, or `None` when the prefix is
+/// still too short to tell (fewer than [`FIXED_HEADER_BYTES`] bytes) or the
+/// advertised sizes overflow `usize`.
+///
+/// This is what a stream transport uses to reassemble frames: read 8 bytes,
+/// call `frame_size`, then read the remainder — and what lets a receiver
+/// with a feedback channel budget exactly `header_size(k)` bytes before
+/// deciding whether the payload is worth transferring.
+///
+/// The returned length is whatever the header *claims*: this crate does not
+/// know what dimensions are reasonable for your session. A caller buffering
+/// untrusted input must cap `k`/`m` before allocating — as
+/// `ltnc_net::envelope::required_len` does with its `MAX_CODE_LENGTH` /
+/// `MAX_PAYLOAD_SIZE` limits — or a hostile 8-byte header can request a
+/// multi-gigabyte read.
 #[must_use]
-pub fn encode(packet: &EncodedPacket) -> Vec<u8> {
-    let k = packet.code_length();
-    let m = packet.payload_size();
-    let mut out = Vec::with_capacity(header_size(k) + m);
+pub fn frame_size(prefix: &[u8]) -> Option<usize> {
+    if prefix.len() < FIXED_HEADER_BYTES {
+        return None;
+    }
+    let k = u32::from_le_bytes(prefix[0..4].try_into().expect("4 bytes")) as usize;
+    let m = u32::from_le_bytes(prefix[4..8].try_into().expect("4 bytes")) as usize;
+    header_size(k).checked_add(m)
+}
+
+/// Serializes only the header (`k`, `m`, bitmap) of a packet whose payload
+/// would be `payload_size` bytes. This is what a sender with a feedback
+/// channel puts on the wire as its header-first *offer*: the receiver can
+/// run [`decode_header`] on it and abort the transfer without a single
+/// payload byte having been sent.
+#[must_use]
+pub fn encode_header(vector: &CodeVector, payload_size: usize) -> Vec<u8> {
+    let k = vector.len();
+    let mut out = Vec::with_capacity(header_size(k));
     out.extend_from_slice(&(k as u32).to_le_bytes());
-    out.extend_from_slice(&(m as u32).to_le_bytes());
+    out.extend_from_slice(&(payload_size as u32).to_le_bytes());
     let mut bitmap = vec![0u8; k.div_ceil(8)];
-    for i in packet.vector().iter_ones() {
+    for i in vector.iter_ones() {
         bitmap[i / 8] |= 1 << (i % 8);
     }
     out.extend_from_slice(&bitmap);
+    out
+}
+
+/// Serializes a packet into the wire format described in the module docs.
+#[must_use]
+pub fn encode(packet: &EncodedPacket) -> Vec<u8> {
+    let mut out = encode_header(packet.vector(), packet.payload_size());
+    out.reserve(packet.payload_size());
     out.extend_from_slice(packet.payload().as_bytes());
     out
 }
@@ -53,10 +90,7 @@ pub fn encode(packet: &EncodedPacket) -> Vec<u8> {
 /// Returns [`Gf2Error::LengthMismatch`] when the buffer is too short.
 pub fn decode_header(bytes: &[u8]) -> Result<(usize, usize, CodeVector), Gf2Error> {
     if bytes.len() < FIXED_HEADER_BYTES {
-        return Err(Gf2Error::LengthMismatch {
-            left: bytes.len(),
-            right: FIXED_HEADER_BYTES,
-        });
+        return Err(Gf2Error::LengthMismatch { left: bytes.len(), right: FIXED_HEADER_BYTES });
     }
     let k = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
     let m = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
@@ -107,6 +141,29 @@ mod tests {
     }
 
     #[test]
+    fn encode_header_is_the_frame_prefix() {
+        let p = pk(19, &[0, 7, 8, 18], &[1, 2, 3, 4, 5]);
+        let frame = encode(&p);
+        let header = encode_header(p.vector(), p.payload_size());
+        assert_eq!(header.len(), header_size(19));
+        assert_eq!(&frame[..header.len()], &header[..]);
+        let (k, m, vector) = decode_header(&header).unwrap();
+        assert_eq!((k, m), (19, 5));
+        assert_eq!(&vector, p.vector());
+    }
+
+    #[test]
+    fn frame_size_is_incremental() {
+        let p = pk(19, &[0, 7, 18], &[1, 2, 3, 4, 5]);
+        let bytes = encode(&p);
+        assert_eq!(frame_size(&bytes[..4]), None);
+        assert_eq!(frame_size(&bytes[..7]), None);
+        for cut in FIXED_HEADER_BYTES..=bytes.len() {
+            assert_eq!(frame_size(&bytes[..cut]), Some(bytes.len()));
+        }
+    }
+
+    #[test]
     fn roundtrip_preserves_packet() {
         let p = pk(19, &[0, 7, 8, 18], &[1, 2, 3, 4, 5]);
         let bytes = encode(&p);
@@ -154,6 +211,58 @@ mod tests {
             let p = pk(k, &indices, &payload);
             let decoded = decode(&encode(&p)).unwrap();
             prop_assert_eq!(decoded, p);
+        }
+
+        // The truncation paths are the ones a real socket will hit: a
+        // short read must surface as an error from every entry point,
+        // never a panic, for every cut of every random frame.
+        #[test]
+        fn prop_truncations_error_never_panic(
+            k in 1usize..200,
+            indices in proptest::collection::vec(0usize..200, 0..20),
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+            cut_seed in any::<u64>(),
+        ) {
+            let indices: Vec<usize> = indices.into_iter().map(|i| i % k).collect();
+            let p = pk(k, &indices, &payload);
+            let bytes = encode(&p);
+            let cut = (cut_seed as usize) % bytes.len();
+            let prefix = &bytes[..cut];
+            prop_assert!(decode(prefix).is_err());
+            // decode_header succeeds from header_size(k) onward, errors
+            // strictly before, and frame_size is consistent throughout.
+            if cut < header_size(k) {
+                prop_assert!(decode_header(prefix).is_err());
+            } else {
+                prop_assert!(decode_header(prefix).is_ok());
+            }
+            if cut < FIXED_HEADER_BYTES {
+                prop_assert_eq!(frame_size(prefix), None);
+            } else {
+                prop_assert_eq!(frame_size(prefix), Some(bytes.len()));
+            }
+        }
+
+        // Arbitrary bytes (not produced by encode) must also decode
+        // without panicking: either some packet comes back or an error
+        // does, and a successful decode must re-encode to a frame prefix.
+        #[test]
+        fn prop_garbage_never_panics(
+            bytes in proptest::collection::vec(any::<u8>(), 0..96),
+        ) {
+            // Keep the advertised k bounded so a "lucky" garbage header
+            // cannot request a huge bitmap allocation in this test.
+            let mut bytes = bytes;
+            if bytes.len() >= 4 {
+                bytes[2] = 0;
+                bytes[3] = 0;
+            }
+            if let Ok(packet) = decode(&bytes) {
+                let reencoded = encode(&packet);
+                prop_assert_eq!(&bytes[..reencoded.len()], &reencoded[..]);
+            }
+            let _ = decode_header(&bytes);
+            let _ = frame_size(&bytes);
         }
     }
 }

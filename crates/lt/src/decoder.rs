@@ -210,10 +210,7 @@ impl BpDecoder {
     /// payload size does not match the decoder.
     pub fn insert(&mut self, packet: EncodedPacket) -> Result<InsertReport, LtError> {
         if packet.code_length() != self.k {
-            return Err(LtError::PacketMismatch {
-                expected: self.k,
-                found: packet.code_length(),
-            });
+            return Err(LtError::PacketMismatch { expected: self.k, found: packet.code_length() });
         }
         if packet.payload_size() != self.payload_size {
             return Err(LtError::PacketMismatch {
@@ -422,8 +419,8 @@ mod tests {
         let report = dec.insert(packet(k, &[0], &nat)).unwrap();
         assert_eq!(report.newly_decoded, vec![0, 1, 2, 3]);
         assert!(dec.is_complete());
-        for i in 0..k {
-            assert_eq!(dec.native(i), Some(&nat[i]));
+        for (i, expected) in nat.iter().enumerate() {
+            assert_eq!(dec.native(i), Some(expected));
         }
     }
 
@@ -494,8 +491,8 @@ mod tests {
             sent += 1;
             assert!(sent < 20 * k, "decoder failed to converge");
         }
-        for i in 0..k {
-            assert_eq!(dec.native(i), Some(&nat[i]));
+        for (i, expected) in nat.iter().enumerate() {
+            assert_eq!(dec.native(i), Some(expected));
         }
         // LT codes need (1+ε)·k packets; ε should be modest for k = 64.
         assert!(sent < 4 * k, "needed {sent} packets for k = {k}");
@@ -542,9 +539,9 @@ mod tests {
             let mut dec = BpDecoder::new(k, m);
             for _ in 0..6 * k {
                 dec.insert(enc.encode(&mut rng)).unwrap();
-                for i in 0..k {
+                for (i, expected) in nat.iter().enumerate() {
                     if let Some(p) = dec.native(i) {
-                        prop_assert_eq!(p, &nat[i]);
+                        prop_assert_eq!(p, expected);
                     }
                 }
                 if dec.is_complete() {
@@ -552,14 +549,14 @@ mod tests {
                 }
             }
             // Force completion with unit packets and re-check.
-            for i in 0..k {
+            for (i, native) in nat.iter().enumerate() {
                 if !dec.is_decoded(i) {
-                    dec.insert(EncodedPacket::native(k, i, nat[i].clone())).unwrap();
+                    dec.insert(EncodedPacket::native(k, i, native.clone())).unwrap();
                 }
             }
             prop_assert!(dec.is_complete());
-            for i in 0..k {
-                prop_assert_eq!(dec.native(i).unwrap(), &nat[i]);
+            for (i, expected) in nat.iter().enumerate() {
+                prop_assert_eq!(dec.native(i).unwrap(), expected);
             }
         }
     }

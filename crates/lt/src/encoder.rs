@@ -52,12 +52,7 @@ impl<D: DegreeDistribution> LtEncoder<D> {
                 found: distribution.code_length(),
             });
         }
-        Ok(LtEncoder {
-            natives,
-            payload_size,
-            distribution,
-            packets_emitted: 0,
-        })
+        Ok(LtEncoder { natives, payload_size, distribution, packets_emitted: 0 })
     }
 
     /// Number of native packets `k`.
@@ -104,7 +99,11 @@ impl<D: DegreeDistribution> LtEncoder<D> {
 
     /// Generates one encoded packet of exactly the given degree (clamped to
     /// `1..=k`), choosing the natives uniformly at random.
-    pub fn encode_with_degree<R: Rng + ?Sized>(&mut self, rng: &mut R, degree: usize) -> EncodedPacket {
+    pub fn encode_with_degree<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        degree: usize,
+    ) -> EncodedPacket {
         let k = self.natives.len();
         let degree = degree.clamp(1, k);
         let chosen = sample_indices(rng, k, degree);
@@ -138,9 +137,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn natives(k: usize, m: usize) -> Vec<Payload> {
-        (0..k)
-            .map(|i| Payload::from_vec((0..m).map(|j| (i * 31 + j) as u8).collect()))
-            .collect()
+        (0..k).map(|i| Payload::from_vec((0..m).map(|j| (i * 31 + j) as u8).collect())).collect()
     }
 
     #[test]
@@ -152,15 +149,8 @@ mod tests {
     #[test]
     fn rejects_inconsistent_sizes() {
         let dist = RobustSoliton::for_code_length(2).unwrap();
-        let err = LtEncoder::new(
-            vec![Payload::zero(4), Payload::zero(5)],
-            dist,
-        )
-        .unwrap_err();
-        assert_eq!(
-            err,
-            LtError::InconsistentPayloadSizes { expected: 4, index: 1, found: 5 }
-        );
+        let err = LtEncoder::new(vec![Payload::zero(4), Payload::zero(5)], dist).unwrap_err();
+        assert_eq!(err, LtError::InconsistentPayloadSizes { expected: 4, index: 1, found: 5 });
     }
 
     #[test]

@@ -40,10 +40,9 @@ impl fmt::Display for LtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LtError::EmptyCode => write!(f, "code length k must be at least 1"),
-            LtError::InconsistentPayloadSizes { expected, index, found } => write!(
-                f,
-                "native packet {index} has size {found}, expected {expected}"
-            ),
+            LtError::InconsistentPayloadSizes { expected, index, found } => {
+                write!(f, "native packet {index} has size {found}, expected {expected}")
+            }
             LtError::InvalidDistributionParameter { parameter, value } => {
                 write!(f, "invalid Soliton parameter {parameter} = {value}")
             }

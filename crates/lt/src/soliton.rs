@@ -110,14 +110,11 @@ impl RobustSoliton {
         if k == 0 {
             return Err(LtError::EmptyCode);
         }
-        if !(c > 0.0) || !c.is_finite() {
+        if c <= 0.0 || !c.is_finite() {
             return Err(LtError::InvalidDistributionParameter { parameter: "c", value: c });
         }
         if !(delta > 0.0 && delta < 1.0) {
-            return Err(LtError::InvalidDistributionParameter {
-                parameter: "delta",
-                value: delta,
-            });
+            return Err(LtError::InvalidDistributionParameter { parameter: "delta", value: delta });
         }
 
         let kf = k as f64;
@@ -299,11 +296,7 @@ mod tests {
         // degree) and degrees {1, 2, 3} carry an absolute majority.
         for k in [128, 512, 2048] {
             let d = RobustSoliton::for_code_length(k).unwrap();
-            assert!(
-                d.low_degree_mass() > 0.4,
-                "k={k}: low-degree mass {}",
-                d.low_degree_mass()
-            );
+            assert!(d.low_degree_mass() > 0.4, "k={k}: low-degree mass {}", d.low_degree_mass());
             let mass_up_to_3 = d.low_degree_mass() + d.pmf(3);
             assert!(mass_up_to_3 > 0.5, "k={k}: mass(d<=3) = {mass_up_to_3}");
         }
@@ -365,14 +358,11 @@ mod tests {
         }
         // Compare empirical frequencies with the pmf on the buckets that carry
         // non-negligible mass.
-        for deg in 1..=k {
+        for (deg, &count) in counts.iter().enumerate().take(k + 1).skip(1) {
             let p = d.pmf(deg);
             if p > 0.005 {
-                let emp = counts[deg] as f64 / n as f64;
-                assert!(
-                    (emp - p).abs() < 0.01,
-                    "degree {deg}: pmf {p:.4} vs empirical {emp:.4}"
-                );
+                let emp = count as f64 / n as f64;
+                assert!((emp - p).abs() < 0.01, "degree {deg}: pmf {p:.4} vs empirical {emp:.4}");
             }
         }
     }

@@ -45,12 +45,7 @@ impl TannerGraph {
     /// Creates an empty graph over `k` native packets.
     #[must_use]
     pub fn new(k: usize) -> Self {
-        TannerGraph {
-            k,
-            packets: Vec::new(),
-            native_edges: vec![Vec::new(); k],
-            live: 0,
-        }
+        TannerGraph { k, packets: Vec::new(), native_edges: vec![Vec::new(); k], live: 0 }
     }
 
     /// Code length `k`.
@@ -87,10 +82,7 @@ impl TannerGraph {
     /// Read-only view of a live packet.
     #[must_use]
     pub fn packet(&self, id: PacketId) -> Option<(&CodeVector, &Payload)> {
-        self.packets
-            .get(id.0)
-            .and_then(|slot| slot.as_ref())
-            .map(|p| (&p.vector, &p.payload))
+        self.packets.get(id.0).and_then(|slot| slot.as_ref()).map(|p| (&p.vector, &p.payload))
     }
 
     /// Current degree of a live packet.
@@ -118,11 +110,7 @@ impl TannerGraph {
         self.native_edges[x]
             .iter()
             .copied()
-            .filter(|id| {
-                self.packets[id.0]
-                    .as_ref()
-                    .is_some_and(|p| p.vector.contains(x))
-            })
+            .filter(|id| self.packets[id.0].as_ref().is_some_and(|p| p.vector.contains(x)))
             .collect()
     }
 
@@ -149,21 +137,13 @@ impl TannerGraph {
 
     /// Iterates over the ids of all live packets.
     pub fn ids(&self) -> impl Iterator<Item = PacketId> + '_ {
-        self.packets
-            .iter()
-            .enumerate()
-            .filter(|(_, slot)| slot.is_some())
-            .map(|(i, _)| PacketId(i))
+        self.packets.iter().enumerate().filter(|(_, slot)| slot.is_some()).map(|(i, _)| PacketId(i))
     }
 
     /// Total number of edges (sum of degrees of live packets).
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.packets
-            .iter()
-            .flatten()
-            .map(|p| p.vector.degree())
-            .sum()
+        self.packets.iter().flatten().map(|p| p.vector.degree()).sum()
     }
 }
 

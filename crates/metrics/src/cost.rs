@@ -176,10 +176,7 @@ mod tests {
         let small = CostModel::new(512, 0);
         let large = CostModel::new(4096, 0);
         assert!(large.cycles_for(OpKind::VectorXor) > small.cycles_for(OpKind::VectorXor));
-        assert_eq!(
-            large.cycles_for(OpKind::VectorXor) / small.cycles_for(OpKind::VectorXor),
-            8.0
-        );
+        assert_eq!(large.cycles_for(OpKind::VectorXor) / small.cycles_for(OpKind::VectorXor), 8.0);
     }
 
     #[test]

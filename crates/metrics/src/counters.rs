@@ -128,21 +128,13 @@ impl OpCounters {
     /// Sum of all data-plane operations (payload XORs).
     #[must_use]
     pub fn data_ops(&self) -> u64 {
-        OpKind::ALL
-            .iter()
-            .filter(|k| k.is_data())
-            .map(|&k| self.get(k))
-            .sum()
+        OpKind::ALL.iter().filter(|k| k.is_data()).map(|&k| self.get(k)).sum()
     }
 
     /// Sum of all control-plane operations.
     #[must_use]
     pub fn control_ops(&self) -> u64 {
-        OpKind::ALL
-            .iter()
-            .filter(|k| !k.is_data())
-            .map(|&k| self.get(k))
-            .sum()
+        OpKind::ALL.iter().filter(|k| !k.is_data()).map(|&k| self.get(k)).sum()
     }
 
     /// Total number of operations of any kind.
@@ -179,10 +171,7 @@ impl OpCounters {
 
     /// Iterates over `(kind, count)` pairs for non-zero counters.
     pub fn iter(&self) -> impl Iterator<Item = (OpKind, u64)> + '_ {
-        OpKind::ALL
-            .iter()
-            .map(|&k| (k, self.get(k)))
-            .filter(|&(_, c)| c > 0)
+        OpKind::ALL.iter().map(|&k| (k, self.get(k))).filter(|&(_, c)| c > 0)
     }
 }
 

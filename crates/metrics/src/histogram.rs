@@ -21,10 +21,7 @@ impl Histogram {
     /// Creates a histogram with `buckets` pre-allocated buckets (0..buckets).
     #[must_use]
     pub fn with_buckets(buckets: usize) -> Self {
-        Histogram {
-            counts: vec![0; buckets],
-            total: 0,
-        }
+        Histogram { counts: vec![0; buckets], total: 0 }
     }
 
     /// Records one observation of `value`, growing the bucket array as needed.
@@ -82,12 +79,7 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        let weighted: f64 = self
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(v, &c)| v as f64 * c as f64)
-            .sum();
+        let weighted: f64 = self.counts.iter().enumerate().map(|(v, &c)| v as f64 * c as f64).sum();
         weighted / self.total as f64
     }
 
@@ -109,11 +101,7 @@ impl Histogram {
 
     /// Iterates over `(value, count)` pairs with non-zero counts.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(v, &c)| (v, c))
+        self.counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(v, &c)| (v, c))
     }
 
     /// Merges another histogram into this one.

@@ -31,9 +31,11 @@ mod counters;
 mod histogram;
 mod series;
 mod summary;
+mod wire;
 
 pub use cost::{CostBreakdown, CostModel};
 pub use counters::{OpCounters, OpKind};
 pub use histogram::Histogram;
 pub use series::TimeSeries;
 pub use summary::Summary;
+pub use wire::WireCounters;

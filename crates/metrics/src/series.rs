@@ -15,10 +15,7 @@ impl TimeSeries {
     /// Creates an empty series with the given label.
     #[must_use]
     pub fn new(label: impl Into<String>) -> Self {
-        TimeSeries {
-            label: label.into(),
-            points: Vec::new(),
-        }
+        TimeSeries { label: label.into(), points: Vec::new() }
     }
 
     /// The series label (e.g. `"LTNC"`, `"RLNC"`, `"WC"`).
@@ -89,10 +86,7 @@ impl TimeSeries {
     /// is non-decreasing, like a convergence curve). `None` if never reached.
     #[must_use]
     pub fn first_x_reaching(&self, threshold: f64) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|&&(_, y)| y >= threshold)
-            .map(|&(x, _)| x)
+        self.points.iter().find(|&&(_, y)| y >= threshold).map(|&(x, _)| x)
     }
 
     /// Renders the series as tab-separated `x<TAB>y` lines (gnuplot-friendly).

@@ -49,7 +49,11 @@ impl Summary {
     }
 
     /// Builds a summary from an iterator of observations.
+    ///
+    /// Not the `FromIterator` trait method: this inherent constructor keeps
+    /// `Summary::from_iter(xs)` call sites working without a `use`.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = f64>>(values: I) -> Self {
         let mut s = Summary::new();
         s.record_all(values);
@@ -132,7 +136,8 @@ impl Summary {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.sum += other.sum;

@@ -1,0 +1,141 @@
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Transport-level traffic accounting for one endpoint.
+///
+/// Where [`crate::OpCounters`] counts *coding* work (XORs, row reductions),
+/// `WireCounters` counts what actually crosses the network: datagrams and
+/// bytes, split into control (envelopes, code-vector headers, feedback) and
+/// data (payload bytes), plus the outcomes of the paper's binary feedback
+/// channel — transfers aborted after the header never cost payload bytes,
+/// which is exactly the saving the feedback channel exists to provide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireCounters {
+    /// Datagrams handed to the socket.
+    pub datagrams_sent: u64,
+    /// Datagrams received and decoded successfully.
+    pub datagrams_received: u64,
+    /// Total bytes handed to the socket (envelope + body).
+    pub bytes_sent: u64,
+    /// Total bytes received in decodable datagrams.
+    pub bytes_received: u64,
+    /// Bytes of payload data sent (the data-plane share of `bytes_sent`).
+    pub payload_bytes_sent: u64,
+    /// Header-probe transfers offered to peers (one per `DATA-HEADER`).
+    pub transfers_offered: u64,
+    /// Transfers a peer aborted after seeing only the header.
+    pub transfers_aborted: u64,
+    /// Transfers that carried their payload to acceptance.
+    pub transfers_delivered: u64,
+    /// Payload deliveries that turned out useful (innovative) at the receiver.
+    pub useful_deliveries: u64,
+    /// Datagrams that failed envelope or frame decoding.
+    pub decode_errors: u64,
+    /// Well-formed datagrams discarded for belonging to another session or
+    /// scheme (not corruption: e.g. a stale peer from a previous run).
+    pub session_mismatches: u64,
+    /// Inbound datagrams dropped because the actor's bounded queue was full.
+    pub inbound_dropped: u64,
+}
+
+impl WireCounters {
+    /// All-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        WireCounters::default()
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &WireCounters) {
+        self.datagrams_sent += other.datagrams_sent;
+        self.datagrams_received += other.datagrams_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.payload_bytes_sent += other.payload_bytes_sent;
+        self.transfers_offered += other.transfers_offered;
+        self.transfers_aborted += other.transfers_aborted;
+        self.transfers_delivered += other.transfers_delivered;
+        self.useful_deliveries += other.useful_deliveries;
+        self.decode_errors += other.decode_errors;
+        self.session_mismatches += other.session_mismatches;
+        self.inbound_dropped += other.inbound_dropped;
+    }
+
+    /// Control-plane share of the bytes sent (everything except payloads).
+    #[must_use]
+    pub fn control_bytes_sent(&self) -> u64 {
+        self.bytes_sent.saturating_sub(self.payload_bytes_sent)
+    }
+
+    /// Fraction of offered transfers the feedback channel aborted, in
+    /// `[0, 1]`; `0` when nothing was offered.
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        if self.transfers_offered == 0 {
+            0.0
+        } else {
+            self.transfers_aborted as f64 / self.transfers_offered as f64
+        }
+    }
+}
+
+impl fmt::Display for WireCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent {} dgrams / {} B ({} B payload), recv {} dgrams / {} B, \
+             transfers {} offered / {} aborted / {} delivered ({} useful), \
+             {} decode errors, {} foreign-session, {} dropped",
+            self.datagrams_sent,
+            self.bytes_sent,
+            self.payload_bytes_sent,
+            self.datagrams_received,
+            self.bytes_received,
+            self.transfers_offered,
+            self.transfers_aborted,
+            self.transfers_delivered,
+            self.useful_deliveries,
+            self.decode_errors,
+            self.session_mismatches,
+            self.inbound_dropped,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = WireCounters { datagrams_sent: 1, bytes_sent: 100, ..WireCounters::new() };
+        let b = WireCounters {
+            datagrams_sent: 2,
+            bytes_sent: 50,
+            payload_bytes_sent: 30,
+            transfers_aborted: 4,
+            ..WireCounters::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.datagrams_sent, 3);
+        assert_eq!(a.bytes_sent, 150);
+        assert_eq!(a.control_bytes_sent(), 120);
+        assert_eq!(a.transfers_aborted, 4);
+    }
+
+    #[test]
+    fn abort_rate_handles_zero_offers() {
+        assert_eq!(WireCounters::new().abort_rate(), 0.0);
+        let c = WireCounters { transfers_offered: 8, transfers_aborted: 2, ..WireCounters::new() };
+        assert!((c.abort_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let c = WireCounters::new();
+        let s = c.to_string();
+        assert!(s.contains("0 dgrams"));
+        assert!(s.contains("0 aborted"));
+    }
+}

@@ -1,0 +1,501 @@
+//! The versioned message envelope and its pure, sans-io codec.
+//!
+//! Every datagram of the `ltnc-net` protocol starts with a fixed 19-byte
+//! envelope header, followed by a kind-specific body:
+//!
+//! ```text
+//! +--------+-----+------+--------+---------------+----------+-----------+
+//! | magic  | ver | kind | scheme | session (u64) | gen(u32) | body …    |
+//! | "LTNC" | 1 B | 1 B  | 1 B    | 8 B LE        | 4 B LE   |           |
+//! +--------+-----+------+--------+---------------+----------+-----------+
+//! ```
+//!
+//! The bodies implement the paper's binary feedback channel as a two-phase
+//! transfer so that an aborted transfer never carries payload bytes:
+//!
+//! * `DATA-HEADER` — `transfer id (u64 LE)` + the *header prefix* of a
+//!   [`ltnc_gf2::wire`] frame (`k`, `m`, code-vector bitmap, **no payload**).
+//!   The receiver runs its innovation / redundancy check on this alone.
+//! * `FEEDBACK-ACCEPT` / `FEEDBACK-ABORT` — `transfer id (u64 LE)`; the
+//!   receiver's verdict on a pending header.
+//! * `DATA-PAYLOAD` — `transfer id (u64 LE)` + a *complete* `gf2::wire`
+//!   frame. Self-contained on purpose: a receiver that lost its pending
+//!   state (restart, reordering) can still use the packet.
+//! * `COMPLETE` — empty body; the envelope's generation says which
+//!   generation the sender of this message has fully decoded
+//!   ([`GENERATION_OBJECT`] means the whole object).
+//!
+//! The codec is pure (`&[u8]` → values, values → `Vec<u8>`): no sockets, no
+//! I/O, so it can be driven by UDP today and by a stream transport later.
+//! [`decode_header`] needs only [`ENVELOPE_HEADER_BYTES`] bytes, mirroring
+//! `gf2::wire::decode_header`'s header-first contract, and
+//! [`required_len`] sizes a frame incrementally for stream reassembly.
+//! Truncated or hostile input returns [`NetError`], never panics, and
+//! advertised dimensions are capped ([`MAX_CODE_LENGTH`],
+//! [`MAX_PAYLOAD_SIZE`]) so a corrupt header cannot drive allocation.
+
+use ltnc_gf2::wire as gf2_wire;
+use ltnc_gf2::{CodeVector, EncodedPacket};
+use ltnc_scheme::SchemeKind;
+
+use crate::NetError;
+
+/// The four ASCII bytes every `ltnc-net` datagram starts with.
+pub const MAGIC: [u8; 4] = *b"LTNC";
+
+/// Current protocol version.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Size of the fixed envelope header.
+pub const ENVELOPE_HEADER_BYTES: usize = 4 + 1 + 1 + 1 + 8 + 4;
+
+/// Sentinel generation id meaning "the entire object" in `COMPLETE`.
+pub const GENERATION_OBJECT: u32 = u32::MAX;
+
+/// Decoder safety cap on the advertised code length `k`.
+pub const MAX_CODE_LENGTH: usize = 1 << 20;
+
+/// Decoder safety cap on the advertised payload size `m`.
+pub const MAX_PAYLOAD_SIZE: usize = 1 << 24;
+
+const TRANSFER_ID_BYTES: usize = 8;
+
+/// Message kind discriminants as they appear on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MessageKind {
+    /// Header-only offer of an encoded packet (phase 1 of a transfer).
+    DataHeader = 0,
+    /// Full packet following an accept (phase 2 of a transfer).
+    DataPayload = 1,
+    /// Receiver verdict: transfer aborted, do not send the payload.
+    FeedbackAbort = 2,
+    /// Receiver verdict: payload wanted.
+    FeedbackAccept = 3,
+    /// Sender of this message has fully decoded a generation (or the whole
+    /// object, see [`GENERATION_OBJECT`]).
+    Complete = 4,
+}
+
+impl MessageKind {
+    fn from_wire(byte: u8) -> Result<Self, NetError> {
+        match byte {
+            0 => Ok(MessageKind::DataHeader),
+            1 => Ok(MessageKind::DataPayload),
+            2 => Ok(MessageKind::FeedbackAbort),
+            3 => Ok(MessageKind::FeedbackAccept),
+            4 => Ok(MessageKind::Complete),
+            other => Err(NetError::BadKind(other)),
+        }
+    }
+}
+
+/// The fixed part of every datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvelopeHeader {
+    /// Message kind.
+    pub kind: MessageKind,
+    /// Coding scheme of the session.
+    pub scheme: SchemeKind,
+    /// Session identifier (one dissemination of one object).
+    pub session: u64,
+    /// Generation this message concerns.
+    pub generation: u32,
+}
+
+/// A fully decoded datagram body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Phase-1 offer: the code vector (and dimensions) of a packet, no
+    /// payload.
+    DataHeader {
+        /// Sender-unique transfer identifier.
+        transfer: u64,
+        /// Advertised payload size `m` of the packet on offer.
+        payload_size: usize,
+        /// The packet's code vector (length `k`).
+        vector: CodeVector,
+    },
+    /// Phase-2 delivery: the complete packet.
+    DataPayload {
+        /// Transfer identifier this payload answers.
+        transfer: u64,
+        /// The encoded packet.
+        packet: EncodedPacket,
+    },
+    /// Receiver verdict on a pending transfer.
+    Feedback {
+        /// Transfer identifier the verdict concerns.
+        transfer: u64,
+        /// `true` for `FEEDBACK-ACCEPT`, `false` for `FEEDBACK-ABORT`.
+        accept: bool,
+    },
+    /// The peer has fully decoded the envelope's generation.
+    Complete,
+}
+
+impl Message {
+    /// The wire kind this message serializes as.
+    #[must_use]
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Message::DataHeader { .. } => MessageKind::DataHeader,
+            Message::DataPayload { .. } => MessageKind::DataPayload,
+            Message::Feedback { accept: true, .. } => MessageKind::FeedbackAccept,
+            Message::Feedback { accept: false, .. } => MessageKind::FeedbackAbort,
+            Message::Complete => MessageKind::Complete,
+        }
+    }
+}
+
+/// One datagram: envelope header plus body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Scheme, session and generation addressing.
+    pub header: EnvelopeHeader,
+    /// The body.
+    pub message: Message,
+}
+
+/// Serializes an envelope into a fresh buffer.
+#[must_use]
+pub fn encode(header: &EnvelopeHeader, message: &Message) -> Vec<u8> {
+    debug_assert_eq!(header.kind, message.kind(), "header kind must match message");
+    let mut out = Vec::with_capacity(ENVELOPE_HEADER_BYTES + 64);
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(message.kind() as u8);
+    out.push(header.scheme.wire_id());
+    out.extend_from_slice(&header.session.to_le_bytes());
+    out.extend_from_slice(&header.generation.to_le_bytes());
+    match message {
+        Message::DataHeader { transfer, payload_size, vector } => {
+            out.extend_from_slice(&transfer.to_le_bytes());
+            // The body reuses the gf2 wire header layout verbatim (k, m,
+            // bitmap), so receivers decode it with gf2's own header-first
+            // decoder.
+            out.extend_from_slice(&gf2_wire::encode_header(vector, *payload_size));
+        }
+        Message::DataPayload { transfer, packet } => {
+            out.extend_from_slice(&transfer.to_le_bytes());
+            out.extend_from_slice(&gf2_wire::encode(packet));
+        }
+        Message::Feedback { transfer, .. } => {
+            out.extend_from_slice(&transfer.to_le_bytes());
+        }
+        Message::Complete => {}
+    }
+    out
+}
+
+/// Convenience constructor for [`Envelope`] encoding.
+#[must_use]
+pub fn encode_envelope(envelope: &Envelope) -> Vec<u8> {
+    encode(&envelope.header, &envelope.message)
+}
+
+/// Decodes only the fixed envelope header from the first
+/// [`ENVELOPE_HEADER_BYTES`] bytes — the transport-level analogue of
+/// `gf2::wire::decode_header`: enough to route, filter by session and
+/// count, without touching the body.
+///
+/// # Errors
+///
+/// [`NetError::Truncated`] when fewer than [`ENVELOPE_HEADER_BYTES`] bytes
+/// are supplied; [`NetError::BadMagic`] / [`NetError::BadVersion`] /
+/// [`NetError::BadKind`] / [`NetError::BadScheme`] on malformed fields.
+pub fn decode_header(bytes: &[u8]) -> Result<EnvelopeHeader, NetError> {
+    if bytes.len() < ENVELOPE_HEADER_BYTES {
+        return Err(NetError::Truncated { have: bytes.len(), needed: ENVELOPE_HEADER_BYTES });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(NetError::BadMagic(magic));
+    }
+    if bytes[4] != PROTOCOL_VERSION {
+        return Err(NetError::BadVersion(bytes[4]));
+    }
+    let kind = MessageKind::from_wire(bytes[5])?;
+    let scheme = SchemeKind::from_wire_id(bytes[6]).ok_or(NetError::BadScheme(bytes[6]))?;
+    let session = u64::from_le_bytes(bytes[7..15].try_into().expect("8 bytes"));
+    let generation = u32::from_le_bytes(bytes[15..19].try_into().expect("4 bytes"));
+    Ok(EnvelopeHeader { kind, scheme, session, generation })
+}
+
+/// Incremental sizing for stream transports: given any prefix of a frame,
+/// returns the total length of the complete frame, or `Err(Truncated)`
+/// naming how many more prefix bytes are required before the length is
+/// knowable. Pure and allocation-free.
+///
+/// # Errors
+///
+/// Same malformed-field errors as [`decode_header`], plus
+/// [`NetError::FrameTooLarge`] when the advertised dimensions exceed the
+/// safety caps.
+pub fn required_len(prefix: &[u8]) -> Result<usize, NetError> {
+    let header = decode_header(prefix)?;
+    frame_len(header.kind, prefix)
+}
+
+/// Sizes a frame whose envelope header (and thus `kind`) is already
+/// parsed, so callers that hold an [`EnvelopeHeader`] do not pay the
+/// header parse twice.
+fn frame_len(kind: MessageKind, bytes: &[u8]) -> Result<usize, NetError> {
+    let body_start = ENVELOPE_HEADER_BYTES;
+    match kind {
+        MessageKind::Complete => Ok(body_start),
+        MessageKind::FeedbackAbort | MessageKind::FeedbackAccept => {
+            Ok(body_start + TRANSFER_ID_BYTES)
+        }
+        MessageKind::DataHeader | MessageKind::DataPayload => {
+            let wire_start = body_start + TRANSFER_ID_BYTES;
+            let fixed_end = wire_start + gf2_wire::FIXED_HEADER_BYTES;
+            if bytes.len() < fixed_end {
+                return Err(NetError::Truncated { have: bytes.len(), needed: fixed_end });
+            }
+            let (k, m) = check_dims(&bytes[wire_start..])?;
+            let len = if kind == MessageKind::DataHeader {
+                wire_start + gf2_wire::header_size(k)
+            } else {
+                wire_start + gf2_wire::header_size(k) + m
+            };
+            Ok(len)
+        }
+    }
+}
+
+/// Reads and validates `k`/`m` from the start of a gf2 wire frame.
+fn check_dims(wire: &[u8]) -> Result<(usize, usize), NetError> {
+    debug_assert!(wire.len() >= gf2_wire::FIXED_HEADER_BYTES);
+    let k = u32::from_le_bytes(wire[0..4].try_into().expect("4 bytes")) as usize;
+    let m = u32::from_le_bytes(wire[4..8].try_into().expect("4 bytes")) as usize;
+    if k > MAX_CODE_LENGTH || m > MAX_PAYLOAD_SIZE {
+        return Err(NetError::FrameTooLarge { code_length: k, payload_size: m });
+    }
+    Ok((k, m))
+}
+
+/// Decodes a complete datagram. The buffer must contain exactly one frame:
+/// trailing bytes are an error (datagram transports preserve message
+/// boundaries, so extra bytes mean corruption).
+///
+/// # Errors
+///
+/// Every malformed input maps to a [`NetError`]; this function never
+/// panics on arbitrary bytes.
+pub fn decode(bytes: &[u8]) -> Result<Envelope, NetError> {
+    let header = decode_header(bytes)?;
+    // frame_len re-reads only the 8 dimension bytes (already cap-checked
+    // there), so the envelope header is parsed exactly once per datagram.
+    let total = frame_len(header.kind, bytes)?;
+    if bytes.len() < total {
+        return Err(NetError::Truncated { have: bytes.len(), needed: total });
+    }
+    if bytes.len() > total {
+        return Err(NetError::TrailingBytes { extra: bytes.len() - total });
+    }
+    let body = &bytes[ENVELOPE_HEADER_BYTES..];
+    let message = match header.kind {
+        MessageKind::Complete => Message::Complete,
+        MessageKind::FeedbackAbort | MessageKind::FeedbackAccept => {
+            let transfer = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+            Message::Feedback { transfer, accept: header.kind == MessageKind::FeedbackAccept }
+        }
+        MessageKind::DataHeader => {
+            let transfer = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+            let (k, m, vector) = gf2_wire::decode_header(&body[TRANSFER_ID_BYTES..])?;
+            debug_assert_eq!(vector.len(), k);
+            Message::DataHeader { transfer, payload_size: m, vector }
+        }
+        MessageKind::DataPayload => {
+            let transfer = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+            let packet = gf2_wire::decode(&body[TRANSFER_ID_BYTES..])?;
+            Message::DataPayload { transfer, packet }
+        }
+    };
+    Ok(Envelope { header, message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltnc_gf2::Payload;
+
+    fn header(kind: MessageKind) -> EnvelopeHeader {
+        EnvelopeHeader { kind, scheme: SchemeKind::Ltnc, session: 0xfeed_beef, generation: 3 }
+    }
+
+    fn sample_packet() -> EncodedPacket {
+        EncodedPacket::new(CodeVector::from_indices(21, &[0, 5, 20]), Payload::from_vec(vec![7; 9]))
+    }
+
+    #[test]
+    fn header_roundtrip_for_every_kind_and_scheme() {
+        for scheme in SchemeKind::ALL {
+            let env = Envelope {
+                header: EnvelopeHeader {
+                    kind: MessageKind::Complete,
+                    scheme,
+                    session: 42,
+                    generation: GENERATION_OBJECT,
+                },
+                message: Message::Complete,
+            };
+            let bytes = encode_envelope(&env);
+            assert_eq!(bytes.len(), ENVELOPE_HEADER_BYTES);
+            assert_eq!(decode(&bytes).unwrap(), env);
+            assert_eq!(decode_header(&bytes).unwrap(), env.header);
+        }
+    }
+
+    #[test]
+    fn data_header_roundtrip_carries_vector_not_payload() {
+        let packet = sample_packet();
+        let msg = Message::DataHeader {
+            transfer: 77,
+            payload_size: packet.payload_size(),
+            vector: packet.vector().clone(),
+        };
+        let bytes = encode(&header(MessageKind::DataHeader), &msg);
+        // Envelope + transfer id + gf2 header; no payload bytes.
+        assert_eq!(
+            bytes.len(),
+            ENVELOPE_HEADER_BYTES + 8 + gf2_wire::header_size(packet.code_length())
+        );
+        let decoded = decode(&bytes).unwrap();
+        match decoded.message {
+            Message::DataHeader { transfer, payload_size, vector } => {
+                assert_eq!(transfer, 77);
+                assert_eq!(payload_size, 9);
+                assert_eq!(&vector, packet.vector());
+            }
+            other => panic!("wrong message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_payload_roundtrip() {
+        let packet = sample_packet();
+        let msg = Message::DataPayload { transfer: 5, packet: packet.clone() };
+        let bytes = encode(&header(MessageKind::DataPayload), &msg);
+        let decoded = decode(&bytes).unwrap();
+        match decoded.message {
+            Message::DataPayload { transfer, packet: p } => {
+                assert_eq!(transfer, 5);
+                assert_eq!(p, packet);
+            }
+            other => panic!("wrong message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feedback_kinds_encode_accept_flag() {
+        for accept in [true, false] {
+            let kind =
+                if accept { MessageKind::FeedbackAccept } else { MessageKind::FeedbackAbort };
+            let msg = Message::Feedback { transfer: 9, accept };
+            let bytes = encode(&header(kind), &msg);
+            let decoded = decode(&bytes).unwrap();
+            assert_eq!(decoded.header.kind, kind);
+            assert_eq!(decoded.message, msg);
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors_never_panics() {
+        let packet = sample_packet();
+        let frames = [
+            encode(&header(MessageKind::Complete), &Message::Complete),
+            encode(
+                &header(MessageKind::FeedbackAbort),
+                &Message::Feedback { transfer: 1, accept: false },
+            ),
+            encode(
+                &header(MessageKind::DataHeader),
+                &Message::DataHeader {
+                    transfer: 2,
+                    payload_size: packet.payload_size(),
+                    vector: packet.vector().clone(),
+                },
+            ),
+            encode(
+                &header(MessageKind::DataPayload),
+                &Message::DataPayload { transfer: 3, packet: packet.clone() },
+            ),
+        ];
+        for frame in &frames {
+            for cut in 0..frame.len() {
+                let err = decode(&frame[..cut]).unwrap_err();
+                assert!(
+                    matches!(err, NetError::Truncated { .. }),
+                    "cut {cut} of {} gave {err:?}",
+                    frame.len()
+                );
+            }
+            assert!(decode(frame).is_ok());
+        }
+    }
+
+    #[test]
+    fn required_len_matches_actual_length_incrementally() {
+        let packet = sample_packet();
+        let frame = encode(
+            &header(MessageKind::DataPayload),
+            &Message::DataPayload { transfer: 3, packet },
+        );
+        let mut have = 0;
+        loop {
+            match required_len(&frame[..have]) {
+                Ok(len) => {
+                    assert_eq!(len, frame.len());
+                    break;
+                }
+                Err(NetError::Truncated { needed, .. }) => {
+                    assert!(needed > have, "must make progress");
+                    have = needed;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&header(MessageKind::Complete), &Message::Complete);
+        bytes.push(0);
+        assert_eq!(decode(&bytes).unwrap_err(), NetError::TrailingBytes { extra: 1 });
+    }
+
+    #[test]
+    fn hostile_dimensions_do_not_allocate() {
+        // A DataPayload advertising k = 2^31: must error via the cap, not
+        // attempt a gigabyte bitmap.
+        let mut bytes = encode(
+            &header(MessageKind::DataPayload),
+            &Message::DataPayload {
+                transfer: 1,
+                packet: EncodedPacket::new(CodeVector::zero(8), Payload::zero(4)),
+            },
+        );
+        let wire_start = ENVELOPE_HEADER_BYTES + 8;
+        bytes[wire_start..wire_start + 4].copy_from_slice(&(1u32 << 31).to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(NetError::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn wrong_magic_version_kind_scheme_all_error() {
+        let good = encode(&header(MessageKind::Complete), &Message::Complete);
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode(&bad), Err(NetError::BadMagic(_))));
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert_eq!(decode(&bad).unwrap_err(), NetError::BadVersion(99));
+        let mut bad = good.clone();
+        bad[5] = 200;
+        assert_eq!(decode(&bad).unwrap_err(), NetError::BadKind(200));
+        let mut bad = good;
+        bad[6] = 9;
+        assert_eq!(decode(&bad).unwrap_err(), NetError::BadScheme(9));
+    }
+}

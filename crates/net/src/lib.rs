@@ -1,0 +1,53 @@
+//! Datagram transport and session layer for LT network codes.
+//!
+//! The simulator (`ltnc-sim`) evaluates the paper's schemes in
+//! synchronized rounds inside one process. This crate runs the *same*
+//! [`ltnc_scheme::Scheme`] implementations over real UDP sockets between
+//! OS threads, making encoder → wire → socket → recoder → decoder an
+//! end-to-end system rather than a simulation:
+//!
+//! * [`envelope`] — the versioned wire protocol: a 19-byte envelope
+//!   (magic, version, kind, scheme, session, generation) framing the
+//!   `gf2::wire` packet format, with a pure sans-io codec whose
+//!   header-first incremental decode carries the paper's binary feedback
+//!   channel onto real sockets (`DATA-HEADER` offer →
+//!   `FEEDBACK-ACCEPT`/`ABORT` → `DATA-PAYLOAD`; aborted transfers never
+//!   cost payload bytes);
+//! * [`generation`] — chunking of arbitrarily large objects into
+//!   generations of `k` payloads, per-generation decode state, push
+//!   scheduling and bit-exact reassembly;
+//! * [`peer`] — the [`peer::PeerNode`] actor: bounded-queue backpressure,
+//!   per-peer in-flight budgets, the aggressiveness gate for relays, and
+//!   graceful shutdown with full wire-level accounting
+//!   ([`ltnc_metrics::WireCounters`]);
+//! * [`swarm`] — one-call localhost orchestration used by the integration
+//!   tests and the `file_dissemination_udp` example.
+//!
+//! # Example
+//!
+//! ```
+//! use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig};
+//! use ltnc_scheme::SchemeKind;
+//!
+//! let object: Vec<u8> = (0..500u32).map(|i| (i * 7 % 256) as u8).collect();
+//! let mut config = SwarmConfig::quick(SchemeKind::Rlnc, object);
+//! config.peers = 2;
+//! config.code_length = 8;
+//! let report = run_localhost_swarm(&config).unwrap();
+//! assert!(report.converged && report.bit_exact);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod envelope;
+mod error;
+pub mod generation;
+pub mod peer;
+pub mod swarm;
+
+pub use envelope::{Envelope, EnvelopeHeader, Message, MessageKind};
+pub use error::NetError;
+pub use generation::{split_object, ObjectManifest, ReceiverSession, SourceSession};
+pub use peer::{NodeConfig, NodeOptions, NodeRole, PeerNode, PeerReport};
+pub use swarm::{run_localhost_swarm, SwarmConfig, SwarmReport};

@@ -1,0 +1,793 @@
+//! The peer actor: a scheme node behind a real UDP socket.
+//!
+//! The concurrency model is deliberately simple — blocking I/O on
+//! dedicated OS threads with bounded channels between them, not an async
+//! runtime (the build environment has no tokio; the sans-io codec and the
+//! actor structure port to one unchanged, see ROADMAP). Each [`PeerNode`]
+//! owns two OS threads:
+//!
+//! * the **socket thread** blocks on `recv_from` (with a short timeout so
+//!   shutdown is prompt) and forwards raw datagrams into a *bounded*
+//!   channel — when the actor falls behind, datagrams are dropped and
+//!   counted rather than buffered without bound (backpressure);
+//! * the **actor thread** owns all coding state ([`SourceSession`] /
+//!   [`ReceiverSession`]), processes inbound messages, and on every tick
+//!   pushes header-first transfer offers to randomly chosen peers, subject
+//!   to the aggressiveness gate and a per-peer in-flight budget.
+//!
+//! The transfer protocol mirrors the paper's binary feedback channel (see
+//! [`crate::envelope`]): `DATA-HEADER` offer → `FEEDBACK-ACCEPT`/`ABORT` →
+//! `DATA-PAYLOAD`. An aborted transfer costs the wire only the header and
+//! the one-byte-of-intent feedback datagram — never payload bytes.
+//! `COMPLETE` messages prune finished generations from every sender's
+//! schedule.
+//!
+//! The public handle is deliberately small: spawn, wire up peers, poll
+//! completion, shut down gracefully and collect a [`PeerReport`].
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use ltnc_gf2::EncodedPacket;
+use ltnc_metrics::{OpCounters, WireCounters};
+use ltnc_scheme::SchemeParams;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::envelope::{self, Envelope, EnvelopeHeader, Message, MessageKind, GENERATION_OBJECT};
+use crate::generation::{ObjectManifest, ReceiverSession, SourceSession};
+
+/// What a node is in the session.
+pub enum NodeRole {
+    /// Holds the full object and only emits.
+    Source {
+        /// The object to disseminate.
+        object: Vec<u8>,
+        /// Scheme and code dimensions.
+        params: SchemeParams,
+    },
+    /// Starts empty; decodes, relays and eventually reconstructs.
+    Peer {
+        /// The manifest agreed with the source.
+        manifest: ObjectManifest,
+    },
+}
+
+/// Tuning knobs of a peer actor.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeOptions {
+    /// Fraction of `k` a relay must hold (per generation) before it starts
+    /// recoding — the paper's aggressiveness parameter. Sources ignore it.
+    pub aggressiveness: f64,
+    /// Transfer offers initiated per tick.
+    pub push_rate: usize,
+    /// Maximum transfers simultaneously awaiting feedback per peer.
+    pub per_peer_inflight: usize,
+    /// Gossip tick period.
+    pub tick: Duration,
+    /// Offers not answered within this duration are forgotten.
+    pub pending_ttl: Duration,
+    /// Capacity of the bounded inbound datagram queue.
+    pub queue_capacity: usize,
+    /// Seed of the node's deterministic RNG.
+    pub seed: u64,
+}
+
+impl Default for NodeOptions {
+    fn default() -> Self {
+        NodeOptions {
+            aggressiveness: 0.01,
+            push_rate: 2,
+            per_peer_inflight: 4,
+            tick: Duration::from_millis(2),
+            pending_ttl: Duration::from_millis(250),
+            queue_capacity: 1024,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+/// Full configuration of one node.
+pub struct NodeConfig {
+    /// Session identifier shared by every node of the dissemination.
+    pub session: u64,
+    /// Source or peer.
+    pub role: NodeRole,
+    /// Tuning knobs.
+    pub options: NodeOptions,
+}
+
+/// Final accounting returned by [`PeerNode::shutdown`].
+#[derive(Debug, Clone)]
+pub struct PeerReport {
+    /// Transport-level counters.
+    pub wire: WireCounters,
+    /// Whether every generation decoded.
+    pub complete: bool,
+    /// Number of generations decoded.
+    pub complete_generations: usize,
+    /// The reassembled object (receivers only, once complete).
+    pub object: Option<Vec<u8>>,
+    /// Coding cost of the reception/decoding path.
+    pub decoding: OpCounters,
+    /// Coding cost of the emission/recoding path.
+    pub recoding: OpCounters,
+}
+
+enum Control {
+    SetPeers(Vec<SocketAddr>),
+    Shutdown,
+}
+
+struct Shared {
+    complete: AtomicBool,
+    complete_generations: AtomicUsize,
+    inbound_dropped: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// Handle to a running peer actor.
+pub struct PeerNode {
+    local_addr: SocketAddr,
+    control: mpsc::Sender<Control>,
+    shared: Arc<Shared>,
+    actor: JoinHandle<PeerReport>,
+    socket_thread: JoinHandle<()>,
+}
+
+impl PeerNode {
+    /// Binds a UDP socket on `bind` (use port 0 for an ephemeral port) and
+    /// spawns the socket and actor threads. The node stays quiet until
+    /// [`PeerNode::set_peers`] wires it into the swarm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket creation/configuration failures.
+    pub fn spawn(bind: SocketAddr, config: NodeConfig) -> io::Result<PeerNode> {
+        let socket = UdpSocket::bind(bind)?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let local_addr = socket.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            complete: AtomicBool::new(false),
+            complete_generations: AtomicUsize::new(0),
+            inbound_dropped: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        // A source is complete by definition; publish that before the
+        // actor thread even starts so the handle never reports a stale
+        // "incomplete" for it.
+        if let NodeRole::Source { object, params } = &config.role {
+            let manifest = ObjectManifest { object_len: object.len() as u64, params: *params };
+            shared.complete.store(true, Ordering::Release);
+            shared
+                .complete_generations
+                .store(manifest.generation_count() as usize, Ordering::Release);
+        }
+
+        let (event_tx, event_rx) = mpsc::sync_channel(config.options.queue_capacity.max(1));
+        let (control_tx, control_rx) = mpsc::channel();
+
+        let socket_thread = {
+            let socket = socket.try_clone()?;
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || socket_loop(&socket, &event_tx, &shared))
+        };
+
+        let actor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || Actor::new(socket, config, shared).run(&event_rx, &control_rx))
+        };
+
+        Ok(PeerNode { local_addr, control: control_tx, shared, actor, socket_thread })
+    }
+
+    /// The socket address this node receives on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Wires the node into the swarm and starts its gossip ticks.
+    pub fn set_peers(&self, peers: Vec<SocketAddr>) {
+        let _ = self.control.send(Control::SetPeers(peers));
+    }
+
+    /// Whether the node has decoded every generation (sources report
+    /// `true` immediately).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.shared.complete.load(Ordering::Acquire)
+    }
+
+    /// Number of generations decoded so far.
+    #[must_use]
+    pub fn complete_generations(&self) -> usize {
+        self.shared.complete_generations.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stops gossiping, joins both threads and returns
+    /// the final report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal thread panicked.
+    #[must_use]
+    pub fn shutdown(self) -> PeerReport {
+        let _ = self.control.send(Control::Shutdown);
+        self.shared.stop.store(true, Ordering::Release);
+        let mut report = self.actor.join().expect("actor thread panicked");
+        self.socket_thread.join().expect("socket thread panicked");
+        report.wire.inbound_dropped += self.shared.inbound_dropped.load(Ordering::Acquire);
+        report
+    }
+}
+
+fn socket_loop(socket: &UdpSocket, events: &SyncSender<(Vec<u8>, SocketAddr)>, shared: &Shared) {
+    // 64 KiB: the largest datagram UDP can carry; frames are validated by
+    // the codec, not by the read size.
+    let mut buf = vec![0u8; 64 * 1024];
+    while !shared.stop.load(Ordering::Acquire) {
+        match socket.recv_from(&mut buf) {
+            Ok((len, from)) => {
+                match events.try_send((buf[..len].to_vec(), from)) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        // Bounded queue: the actor is behind. Dropping the
+                        // datagram (and counting it) is the backpressure —
+                        // the epidemic redundancy absorbs the loss.
+                        shared.inbound_dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => {
+                // Transient socket errors (e.g. ICMP port-unreachable
+                // surfacing as ECONNREFUSED on some platforms) are not
+                // fatal for a datagram listener.
+            }
+        }
+    }
+}
+
+struct PendingTransfer {
+    generation: u32,
+    packet: EncodedPacket,
+    to: SocketAddr,
+    born: Instant,
+}
+
+struct Actor {
+    socket: UdpSocket,
+    session: u64,
+    params: SchemeParams,
+    options: NodeOptions,
+    source: Option<SourceSession>,
+    receiver: Option<ReceiverSession>,
+    generation_count: u32,
+    peers: Vec<SocketAddr>,
+    started: bool,
+    rng: SmallRng,
+    next_transfer: u64,
+    pending: HashMap<u64, PendingTransfer>,
+    inflight_per_peer: HashMap<SocketAddr, usize>,
+    peer_done: HashMap<SocketAddr, HashSet<u32>>,
+    object_done: HashSet<SocketAddr>,
+    announced: HashSet<u32>,
+    wire: WireCounters,
+    shared: Arc<Shared>,
+    shutdown: bool,
+}
+
+impl Actor {
+    fn new(socket: UdpSocket, config: NodeConfig, shared: Arc<Shared>) -> Actor {
+        let (params, source, receiver) = match config.role {
+            NodeRole::Source { object, params } => {
+                // Completion state for sources is already published by
+                // PeerNode::spawn, before this thread existed.
+                let source = SourceSession::new(&object, params);
+                (params, Some(source), None)
+            }
+            NodeRole::Peer { manifest } => {
+                (manifest.params, None, Some(ReceiverSession::new(manifest)))
+            }
+        };
+        let generation_count = source
+            .as_ref()
+            .map(|s| s.manifest().generation_count())
+            .or_else(|| receiver.as_ref().map(|r| r.manifest().generation_count()))
+            .expect("role provides a manifest");
+        Actor {
+            socket,
+            session: config.session,
+            params,
+            options: config.options,
+            source,
+            receiver,
+            generation_count,
+            peers: Vec::new(),
+            started: false,
+            rng: SmallRng::seed_from_u64(config.options.seed),
+            next_transfer: 1,
+            pending: HashMap::new(),
+            inflight_per_peer: HashMap::new(),
+            peer_done: HashMap::new(),
+            object_done: HashSet::new(),
+            announced: HashSet::new(),
+            wire: WireCounters::new(),
+            shared,
+            shutdown: false,
+        }
+    }
+
+    fn run(
+        mut self,
+        events: &Receiver<(Vec<u8>, SocketAddr)>,
+        control: &Receiver<Control>,
+    ) -> PeerReport {
+        let mut last_tick = Instant::now();
+        loop {
+            while let Ok(message) = control.try_recv() {
+                match message {
+                    Control::SetPeers(peers) => {
+                        self.peers = peers;
+                        self.started = true;
+                    }
+                    Control::Shutdown => self.shutdown = true,
+                }
+            }
+            if self.shutdown {
+                break;
+            }
+
+            match events.recv_timeout(self.options.tick) {
+                Ok((bytes, from)) => self.handle_datagram(&bytes, from),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+
+            if self.started && last_tick.elapsed() >= self.options.tick {
+                last_tick = Instant::now();
+                self.tick();
+            }
+        }
+        self.into_report()
+    }
+
+    fn into_report(mut self) -> PeerReport {
+        let (complete, complete_generations, object, decoding, mut recoding) = match self
+            .receiver
+            .as_mut()
+        {
+            Some(receiver) => (
+                receiver.is_complete(),
+                receiver.complete_generations(),
+                receiver.reassemble(),
+                receiver.decoding_counters(),
+                receiver.recoding_counters(),
+            ),
+            None => {
+                (true, self.generation_count as usize, None, OpCounters::new(), OpCounters::new())
+            }
+        };
+        if let Some(source) = &self.source {
+            recoding.merge(&source.recoding_counters());
+        }
+        PeerReport { wire: self.wire, complete, complete_generations, object, decoding, recoding }
+    }
+
+    fn send(&mut self, to: SocketAddr, header: &EnvelopeHeader, message: &Message) {
+        let bytes = envelope::encode(header, message);
+        self.wire.datagrams_sent += 1;
+        self.wire.bytes_sent += bytes.len() as u64;
+        if let Message::DataPayload { packet, .. } = message {
+            self.wire.payload_bytes_sent += packet.payload_size() as u64;
+        }
+        // Datagram sends are fire-and-forget; a vanished peer must not
+        // stall the actor.
+        let _ = self.socket.send_to(&bytes, to);
+    }
+
+    fn header(&self, kind: MessageKind, generation: u32) -> EnvelopeHeader {
+        EnvelopeHeader { kind, scheme: self.params.kind, session: self.session, generation }
+    }
+
+    fn handle_datagram(&mut self, bytes: &[u8], from: SocketAddr) {
+        let envelope = match envelope::decode(bytes) {
+            Ok(envelope) => envelope,
+            Err(_) => {
+                self.wire.decode_errors += 1;
+                return;
+            }
+        };
+        if envelope.header.session != self.session || envelope.header.scheme != self.params.kind {
+            // Decoded fine, just not ours (e.g. a stale peer from an
+            // earlier run) — keep decode_errors meaning "corrupt bytes".
+            self.wire.session_mismatches += 1;
+            return;
+        }
+        self.wire.datagrams_received += 1;
+        self.wire.bytes_received += bytes.len() as u64;
+        let Envelope { header, message } = envelope;
+        match message {
+            Message::DataHeader { transfer, payload_size, vector } => {
+                let generation = header.generation;
+                let accept = payload_size == self.params.payload_size
+                    && self.receiver.as_ref().is_some_and(|r| r.would_accept(generation, &vector));
+                self.send(
+                    from,
+                    &self.header(
+                        if accept {
+                            MessageKind::FeedbackAccept
+                        } else {
+                            MessageKind::FeedbackAbort
+                        },
+                        generation,
+                    ),
+                    &Message::Feedback { transfer, accept },
+                );
+                // Aborts caused by a finished generation also tell the
+                // sender to stop offering it altogether. A node with no
+                // receiver (a pure source) needs nothing, ever — say so
+                // instead of absorbing offers forever.
+                if !accept {
+                    match self.receiver.as_ref() {
+                        Some(receiver) if receiver.generation_complete(generation) => {
+                            self.send(
+                                from,
+                                &self.header(MessageKind::Complete, generation),
+                                &Message::Complete,
+                            );
+                        }
+                        None => {
+                            self.send(
+                                from,
+                                &self.header(MessageKind::Complete, GENERATION_OBJECT),
+                                &Message::Complete,
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Message::Feedback { transfer, accept } => {
+                // Only the peer the offer went to may decide its fate; a
+                // verdict from anyone else (bug or hostility) must not
+                // consume the pending transfer.
+                if self.pending.get(&transfer).is_none_or(|p| p.to != from) {
+                    return; // evicted, duplicate, or misdirected feedback
+                }
+                let pending = self.pending.remove(&transfer).expect("checked above");
+                if let Some(count) = self.inflight_per_peer.get_mut(&pending.to) {
+                    *count = count.saturating_sub(1);
+                }
+                if accept {
+                    self.wire.transfers_delivered += 1;
+                    self.send(
+                        pending.to,
+                        &self.header(MessageKind::DataPayload, pending.generation),
+                        &Message::DataPayload { transfer, packet: pending.packet },
+                    );
+                } else {
+                    self.wire.transfers_aborted += 1;
+                }
+            }
+            Message::DataPayload { packet, .. } => {
+                let generation = header.generation;
+                let (useful, newly_complete, object_complete) = {
+                    let Some(receiver) = self.receiver.as_mut() else { return };
+                    let was_complete = receiver.generation_complete(generation);
+                    let useful = receiver.deliver(generation, &packet);
+                    self.shared
+                        .complete_generations
+                        .store(receiver.complete_generations(), Ordering::Release);
+                    (
+                        useful,
+                        !was_complete && receiver.generation_complete(generation),
+                        receiver.is_complete(),
+                    )
+                };
+                if useful {
+                    self.wire.useful_deliveries += 1;
+                }
+                if newly_complete {
+                    self.announce_complete(generation);
+                }
+                if object_complete && !self.shared.complete.load(Ordering::Acquire) {
+                    self.shared.complete.store(true, Ordering::Release);
+                    self.announce_complete(GENERATION_OBJECT);
+                }
+            }
+            Message::Complete => {
+                if header.generation == GENERATION_OBJECT {
+                    self.object_done.insert(from);
+                } else {
+                    self.peer_done.entry(from).or_default().insert(header.generation);
+                }
+            }
+        }
+    }
+
+    fn announce_complete(&mut self, generation: u32) {
+        if !self.announced.insert(generation) {
+            return;
+        }
+        let header = self.header(MessageKind::Complete, generation);
+        for peer in self.peers.clone() {
+            self.send(peer, &header, &Message::Complete);
+        }
+    }
+
+    fn tick(&mut self) {
+        self.evict_stale_pending();
+        if self.peers.is_empty() {
+            return;
+        }
+        for _ in 0..self.options.push_rate {
+            self.push_once();
+        }
+    }
+
+    fn evict_stale_pending(&mut self) {
+        let ttl = self.options.pending_ttl;
+        let inflight = &mut self.inflight_per_peer;
+        self.pending.retain(|_, pending| {
+            let keep = pending.born.elapsed() < ttl;
+            if !keep {
+                if let Some(count) = inflight.get_mut(&pending.to) {
+                    *count = count.saturating_sub(1);
+                }
+            }
+            keep
+        });
+    }
+
+    fn push_once(&mut self) {
+        // Choose a target that still needs something, respecting the
+        // per-peer in-flight budget.
+        let candidates: Vec<SocketAddr> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|peer| !self.object_done.contains(peer))
+            .filter(|peer| {
+                self.inflight_per_peer.get(peer).copied().unwrap_or(0)
+                    < self.options.per_peer_inflight
+            })
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let target = candidates[self.rng.gen_range(0..candidates.len())];
+        let target_done = self.peer_done.get(&target);
+        let needs = |generation: u32| -> bool {
+            target_done.is_none_or(|done| !done.contains(&generation))
+        };
+
+        let made = if let Some(source) = self.source.as_mut() {
+            source.make_packet(&mut self.rng, needs)
+        } else if let Some(receiver) = self.receiver.as_mut() {
+            // A relay pushes from generations that passed the gate.
+            let threshold = ((self.options.aggressiveness * self.params.code_length as f64).ceil()
+                as usize)
+                .max(1);
+            let eligible: Vec<u32> = (0..self.generation_count)
+                .filter(|&generation| needs(generation))
+                .filter(|&generation| receiver.useful_received(generation) >= threshold)
+                .collect();
+            if eligible.is_empty() {
+                None
+            } else {
+                let generation = eligible[self.rng.gen_range(0..eligible.len())];
+                receiver.make_packet(generation, &mut self.rng).map(|packet| (generation, packet))
+            }
+        } else {
+            None
+        };
+        let Some((generation, packet)) = made else { return };
+
+        let transfer = self.next_transfer;
+        self.next_transfer += 1;
+        self.send(
+            target,
+            &self.header(MessageKind::DataHeader, generation),
+            &Message::DataHeader {
+                transfer,
+                payload_size: packet.payload_size(),
+                vector: packet.vector().clone(),
+            },
+        );
+        self.wire.transfers_offered += 1;
+        self.pending.insert(
+            transfer,
+            PendingTransfer { generation, packet, to: target, born: Instant::now() },
+        );
+        *self.inflight_per_peer.entry(target).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltnc_scheme::SchemeKind;
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().expect("valid addr")
+    }
+
+    fn quick_options(seed: u64) -> NodeOptions {
+        NodeOptions { tick: Duration::from_millis(1), seed, ..NodeOptions::default() }
+    }
+
+    #[test]
+    fn source_reports_complete_immediately() {
+        let params = SchemeParams::new(SchemeKind::Ltnc, 8, 4);
+        let node = PeerNode::spawn(
+            loopback(),
+            NodeConfig {
+                session: 1,
+                role: NodeRole::Source { object: vec![7; 64], params },
+                options: quick_options(1),
+            },
+        )
+        .expect("spawn");
+        assert!(node.is_complete());
+        assert_eq!(node.complete_generations(), 2);
+        let report = node.shutdown();
+        assert!(report.complete);
+        assert!(report.object.is_none(), "sources do not reassemble");
+    }
+
+    #[test]
+    fn one_source_one_peer_end_to_end() {
+        let params = SchemeParams::new(SchemeKind::Rlnc, 8, 4);
+        let object: Vec<u8> = (0..100u32).map(|i| (i * 13 % 251) as u8).collect();
+        let source = PeerNode::spawn(
+            loopback(),
+            NodeConfig {
+                session: 9,
+                role: NodeRole::Source { object: object.clone(), params },
+                options: quick_options(2),
+            },
+        )
+        .expect("spawn source");
+        let manifest = crate::generation::split_object(&object, params).0;
+        let peer = PeerNode::spawn(
+            loopback(),
+            NodeConfig { session: 9, role: NodeRole::Peer { manifest }, options: quick_options(3) },
+        )
+        .expect("spawn peer");
+
+        source.set_peers(vec![peer.local_addr()]);
+        peer.set_peers(vec![]);
+
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !peer.is_complete() && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(peer.is_complete(), "peer did not complete in time");
+
+        let peer_report = peer.shutdown();
+        let source_report = source.shutdown();
+        assert_eq!(peer_report.object.as_deref(), Some(&object[..]), "bit-exact reconstruction");
+        assert!(source_report.wire.transfers_offered > 0);
+        assert!(peer_report.wire.useful_deliveries > 0);
+    }
+
+    #[test]
+    fn feedback_from_the_wrong_peer_is_ignored() {
+        // A source offers to peer A (a raw socket we control); an accept
+        // forged by peer C must not release the payload — only A's own
+        // accept may.
+        let params = SchemeParams::new(SchemeKind::Rlnc, 4, 2);
+        let object = vec![9u8; 8];
+        // One in-flight offer, never evicted: after the first DATA-HEADER
+        // the source goes quiet until that transfer is resolved, so the
+        // sockets below see a deterministic message sequence.
+        let options = NodeOptions {
+            push_rate: 1,
+            per_peer_inflight: 1,
+            pending_ttl: Duration::from_secs(60),
+            tick: Duration::from_millis(2),
+            seed: 8,
+            ..NodeOptions::default()
+        };
+        let source = PeerNode::spawn(
+            loopback(),
+            NodeConfig { session: 77, role: NodeRole::Source { object, params }, options },
+        )
+        .expect("spawn source");
+
+        let a = UdpSocket::bind("127.0.0.1:0").expect("bind A");
+        let c = UdpSocket::bind("127.0.0.1:0").expect("bind C");
+        a.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        c.set_read_timeout(Some(Duration::from_millis(300))).expect("timeout");
+        source.set_peers(vec![a.local_addr().expect("addr")]);
+
+        // Receive one DATA-HEADER offer at A.
+        let mut buf = [0u8; 2048];
+        let (offer_transfer, offer_generation) = loop {
+            let (len, _) = a.recv_from(&mut buf).expect("offer should arrive");
+            let env = envelope::decode(&buf[..len]).expect("valid frame");
+            if let Message::DataHeader { transfer, .. } = env.message {
+                break (transfer, env.header.generation);
+            }
+        };
+
+        // C forges an accept for A's transfer.
+        let forged = envelope::encode(
+            &EnvelopeHeader {
+                kind: MessageKind::FeedbackAccept,
+                scheme: SchemeKind::Rlnc,
+                session: 77,
+                generation: offer_generation,
+            },
+            &Message::Feedback { transfer: offer_transfer, accept: true },
+        );
+        c.send_to(&forged, source.local_addr()).expect("send forged accept");
+
+        // Neither C nor A may receive a payload for it.
+        let mut leaked = false;
+        for socket in [&c, &a] {
+            socket.set_read_timeout(Some(Duration::from_millis(300))).expect("timeout");
+            while let Ok((len, _)) = socket.recv_from(&mut buf) {
+                if let Ok(env) = envelope::decode(&buf[..len]) {
+                    if matches!(env.message, Message::DataPayload { transfer, .. } if transfer == offer_transfer)
+                    {
+                        leaked = true;
+                    }
+                }
+            }
+        }
+        assert!(!leaked, "forged accept must not release the payload");
+
+        // A's own accept still works: the pending entry survived the forgery.
+        let genuine = envelope::encode(
+            &EnvelopeHeader {
+                kind: MessageKind::FeedbackAccept,
+                scheme: SchemeKind::Rlnc,
+                session: 77,
+                generation: offer_generation,
+            },
+            &Message::Feedback { transfer: offer_transfer, accept: true },
+        );
+        a.send_to(&genuine, source.local_addr()).expect("send genuine accept");
+        a.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let delivered = loop {
+            let (len, _) = a.recv_from(&mut buf).expect("payload should arrive");
+            if let Ok(env) = envelope::decode(&buf[..len]) {
+                if let Message::DataPayload { transfer, .. } = env.message {
+                    if transfer == offer_transfer {
+                        break true;
+                    }
+                }
+            }
+        };
+        assert!(delivered);
+        let _ = source.shutdown();
+    }
+
+    #[test]
+    fn shutdown_without_peers_is_clean() {
+        let params = SchemeParams::new(SchemeKind::Wc, 4, 2);
+        let manifest = crate::generation::split_object(&[1, 2, 3], params).0;
+        let node = PeerNode::spawn(
+            loopback(),
+            NodeConfig { session: 5, role: NodeRole::Peer { manifest }, options: quick_options(4) },
+        )
+        .expect("spawn");
+        assert!(!node.is_complete());
+        let report = node.shutdown();
+        assert!(!report.complete);
+        assert_eq!(report.wire.datagrams_sent, 0);
+    }
+}

@@ -127,8 +127,7 @@ impl GaussianDecoder {
         }
         let (_, innovative) = self.solver.insert(packet.vector().clone());
         debug_assert!(innovative, "insert after successful innovation check");
-        self.counters
-            .add(OpKind::RowReduction, self.solver.row_ops() - ops_before);
+        self.counters.add(OpKind::RowReduction, self.solver.row_ops() - ops_before);
         self.payloads.push(packet.payload().clone());
         self.decoded = None;
         Ok(innovative)
@@ -148,18 +147,11 @@ impl GaussianDecoder {
             return Ok(cached.clone());
         }
         if !self.solver.is_full_rank() {
-            return Err(RlncError::NotFullRank {
-                rank: self.solver.rank(),
-                needed: self.k,
-            });
+            return Err(RlncError::NotFullRank { rank: self.solver.rank(), needed: self.k });
         }
         let ops_before = self.solver.row_ops();
-        let recipes = self
-            .solver
-            .solve()
-            .expect("full-rank system must be solvable");
-        self.counters
-            .add(OpKind::RowReduction, self.solver.row_ops() - ops_before);
+        let recipes = self.solver.solve().expect("full-rank system must be solvable");
+        self.counters.add(OpKind::RowReduction, self.solver.row_ops() - ops_before);
 
         let mut natives = Vec::with_capacity(self.k);
         for recipe in &recipes {
@@ -252,10 +244,7 @@ mod tests {
         let nat = natives(k, 2);
         let mut dec = GaussianDecoder::new(k, 2);
         dec.insert(&packet(k, &[0], &nat)).unwrap();
-        assert_eq!(
-            dec.decode().unwrap_err(),
-            RlncError::NotFullRank { rank: 1, needed: 3 }
-        );
+        assert_eq!(dec.decode().unwrap_err(), RlncError::NotFullRank { rank: 1, needed: 3 });
     }
 
     #[test]

@@ -94,14 +94,9 @@ impl RlncNode {
     /// Panics if the packet's code length or payload size does not match the
     /// node (schemes never mix packet shapes within one dissemination).
     pub fn receive(&mut self, packet: &EncodedPacket) -> ReceiveOutcome {
-        let innovative = self
-            .decoder
-            .insert(packet)
-            .expect("packet shape must match the node");
+        let innovative = self.decoder.insert(packet).expect("packet shape must match the node");
         if innovative {
-            self.recoder
-                .push(packet.clone())
-                .expect("packet shape must match the node");
+            self.recoder.push(packet.clone()).expect("packet shape must match the node");
             ReceiveOutcome::Innovative
         } else {
             ReceiveOutcome::Redundant
@@ -148,9 +143,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn natives(k: usize, m: usize) -> Vec<Payload> {
-        (0..k)
-            .map(|i| Payload::from_vec((0..m).map(|j| (i * 7 + j + 1) as u8).collect()))
-            .collect()
+        (0..k).map(|i| Payload::from_vec((0..m).map(|j| (i * 7 + j + 1) as u8).collect())).collect()
     }
 
     fn seed_source(k: usize, nat: &[Payload]) -> RlncNode {

@@ -153,9 +153,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn natives(k: usize, m: usize) -> Vec<Payload> {
-        (0..k)
-            .map(|i| Payload::from_vec((0..m).map(|j| (i + 2 * j + 1) as u8).collect()))
-            .collect()
+        (0..k).map(|i| Payload::from_vec((0..m).map(|j| (i + 2 * j + 1) as u8).collect())).collect()
     }
 
     fn packet(k: usize, indices: &[usize], nat: &[Payload]) -> EncodedPacket {

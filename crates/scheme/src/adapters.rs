@@ -13,13 +13,15 @@ pub enum SendDecision {
     Aborted,
 }
 
-/// The per-node behaviour the dissemination engine drives.
+/// The per-node behaviour a dissemination driver drives.
 ///
 /// One implementation exists per scheme of the paper's evaluation:
 /// [`crate::WcNode`] (no coding), [`RlncSchemeNode`] and [`LtncSchemeNode`].
-/// The engine does not know which coding scheme is running; it only pushes
-/// packets between `Scheme` objects and collects their counters.
-pub trait Scheme {
+/// A driver — the round-based simulator or the UDP session layer — does not
+/// know which coding scheme is running; it only pushes packets between
+/// `Scheme` objects and collects their counters. `Send` is required so
+/// session actors can own scheme nodes on their own threads.
+pub trait Scheme: Send {
     /// Returns `true` once the node can reconstruct the full content.
     fn is_complete(&self) -> bool;
 
@@ -141,7 +143,12 @@ impl LtncSchemeNode {
     #[must_use]
     pub fn source(k: usize, payload_size: usize, natives: &[Payload]) -> Self {
         LtncSchemeNode {
-            node: LtncNode::with_all_natives(k, payload_size, natives, ltnc_core::LtncConfig::default()),
+            node: LtncNode::with_all_natives(
+                k,
+                payload_size,
+                natives,
+                ltnc_core::LtncConfig::default(),
+            ),
             useful: k,
         }
     }
@@ -280,10 +287,8 @@ mod tests {
         let mut wasted = 0;
         while !sink.is_complete() {
             let p = source.make_packet(&mut rng).unwrap();
-            if sink.would_accept(&p) {
-                if !sink.deliver(&p) {
-                    wasted += 1;
-                }
+            if sink.would_accept(&p) && !sink.deliver(&p) {
+                wasted += 1;
             }
         }
         assert_eq!(wasted, 0);

@@ -205,10 +205,8 @@ mod tests {
         // First two sends cover both buffered natives (least-forwarded first).
         let a = node.make_packet(&mut rng).unwrap();
         let b = node.make_packet(&mut rng).unwrap();
-        let mut sent: Vec<usize> = vec![
-            a.vector().first_one().unwrap(),
-            b.vector().first_one().unwrap(),
-        ];
+        let mut sent: Vec<usize> =
+            vec![a.vector().first_one().unwrap(), b.vector().first_one().unwrap()];
         sent.sort_unstable();
         assert_eq!(sent, vec![0, 1]);
     }
@@ -234,8 +232,8 @@ mod tests {
         let nat = natives(k, 2);
         let mut node = WcNode::new(k, 2, 4, 2);
         let mut rng = SmallRng::seed_from_u64(1);
-        for i in 0..4 {
-            node.deliver(&EncodedPacket::native(k, i, nat[i].clone()));
+        for (i, native) in nat.iter().enumerate().take(4) {
+            node.deliver(&EncodedPacket::native(k, i, native.clone()));
         }
         // Buffer holds only the two most recent natives (2 and 3); the node
         // still *stores* all four for completeness purposes.

@@ -1,30 +1,5 @@
+use ltnc_scheme::{SchemeKind, SchemeParams};
 use serde::{Deserialize, Serialize};
-
-/// Which dissemination scheme the nodes run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum SchemeKind {
-    /// Without Coding: nodes forward native packets only (the paper's "WC").
-    Wc,
-    /// Random Linear Network Coding with sparse recoding and Gaussian decoding.
-    Rlnc,
-    /// LT Network Codes (the paper's contribution).
-    Ltnc,
-}
-
-impl SchemeKind {
-    /// All schemes, in the order the paper's figures list them.
-    pub const ALL: [SchemeKind; 3] = [SchemeKind::Wc, SchemeKind::Ltnc, SchemeKind::Rlnc];
-
-    /// Display label used in figure output.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            SchemeKind::Wc => "WC",
-            SchemeKind::Rlnc => "RLNC",
-            SchemeKind::Ltnc => "LTNC",
-        }
-    }
-}
 
 /// Parameters of one simulated dissemination (§IV-A of the paper).
 ///
@@ -145,6 +120,19 @@ impl SimConfig {
     pub fn recode_threshold(&self) -> usize {
         ((self.aggressiveness * self.code_length as f64).ceil() as usize).max(1)
     }
+
+    /// The scheme-construction subset of this configuration, usable by any
+    /// driver (see [`SchemeParams`]).
+    #[must_use]
+    pub fn scheme_params(&self) -> SchemeParams {
+        SchemeParams {
+            kind: self.scheme,
+            code_length: self.code_length,
+            payload_size: self.payload_size,
+            wc_fanout: self.wc_fanout,
+            wc_buffer: self.wc_buffer,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -189,9 +177,7 @@ mod tests {
 
     #[test]
     fn recode_threshold_scales_with_aggressiveness() {
-        let mut c = SimConfig::default();
-        c.code_length = 2048;
-        c.aggressiveness = 0.01;
+        let mut c = SimConfig { code_length: 2048, aggressiveness: 0.01, ..SimConfig::default() };
         assert_eq!(c.recode_threshold(), 21);
         c.aggressiveness = 0.0;
         assert_eq!(c.recode_threshold(), 1);

@@ -3,10 +3,7 @@ use ltnc_metrics::{OpCounters, TimeSeries};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{
-    LtncSchemeNode, PeerSampler, RlncSchemeNode, Scheme, SchemeKind, SendDecision, SimConfig,
-    SimReport, WcNode,
-};
+use crate::{PeerSampler, Scheme, SendDecision, SimConfig, SimReport};
 
 /// The round-based epidemic dissemination engine (§IV-A of the paper).
 ///
@@ -60,9 +57,8 @@ impl Engine {
             .collect();
 
         let source = Self::make_source(&config, &natives);
-        let nodes: Vec<Box<dyn Scheme>> = (0..config.nodes)
-            .map(|_| Self::make_node(&config))
-            .collect();
+        let nodes: Vec<Box<dyn Scheme>> =
+            (0..config.nodes).map(|_| Self::make_node(&config)).collect();
         let sampler = PeerSampler::new(config.nodes, config.view_size, &mut rng);
 
         Engine {
@@ -83,37 +79,11 @@ impl Engine {
     }
 
     fn make_source(config: &SimConfig, natives: &[Payload]) -> Box<dyn Scheme> {
-        match config.scheme {
-            SchemeKind::Wc => Box::new(WcNode::source(
-                config.code_length,
-                config.payload_size,
-                config.wc_fanout,
-                natives,
-            )),
-            SchemeKind::Rlnc => Box::new(RlncSchemeNode::source(
-                config.code_length,
-                config.payload_size,
-                natives,
-            )),
-            SchemeKind::Ltnc => Box::new(LtncSchemeNode::source(
-                config.code_length,
-                config.payload_size,
-                natives,
-            )),
-        }
+        config.scheme_params().source_node(natives)
     }
 
     fn make_node(config: &SimConfig) -> Box<dyn Scheme> {
-        match config.scheme {
-            SchemeKind::Wc => Box::new(WcNode::new(
-                config.code_length,
-                config.payload_size,
-                config.wc_fanout,
-                config.wc_buffer,
-            )),
-            SchemeKind::Rlnc => Box::new(RlncSchemeNode::new(config.code_length, config.payload_size)),
-            SchemeKind::Ltnc => Box::new(LtncSchemeNode::new(config.code_length, config.payload_size)),
-        }
+        config.scheme_params().empty_node()
     }
 
     /// The simulated configuration.
@@ -190,7 +160,11 @@ impl Engine {
 
     /// One transfer attempt towards `target`, going through the binary
     /// feedback channel and the (optional) lossy link.
-    fn deliver_with_loss(&mut self, packet: &ltnc_gf2::EncodedPacket, target: usize) -> SendDecision {
+    fn deliver_with_loss(
+        &mut self,
+        packet: &ltnc_gf2::EncodedPacket,
+        target: usize,
+    ) -> SendDecision {
         let receiver = self.nodes[target].as_mut();
         if self.config.feedback && !receiver.would_accept(packet) {
             self.transfers_aborted += 1;
@@ -245,11 +219,8 @@ impl Engine {
             .collect();
         let avg_time_to_complete =
             completion_times.iter().sum::<f64>() / completion_times.len().max(1) as f64;
-        let completion_period = if completed == self.config.nodes {
-            Some(last_period)
-        } else {
-            None
-        };
+        let completion_period =
+            if completed == self.config.nodes { Some(last_period) } else { None };
 
         SimReport {
             scheme: self.config.scheme,
@@ -274,6 +245,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SchemeKind;
 
     fn quick(scheme: SchemeKind) -> SimConfig {
         let mut c = SimConfig::quick(scheme);
@@ -351,7 +323,10 @@ mod tests {
         let a = Engine::new(c1).run();
         let b = Engine::new(c2).run();
         // Extremely unlikely to coincide exactly.
-        assert!(a.payloads_delivered != b.payloads_delivered || a.avg_time_to_complete != b.avg_time_to_complete);
+        assert!(
+            a.payloads_delivered != b.payloads_delivered
+                || a.avg_time_to_complete != b.avg_time_to_complete
+        );
     }
 
     #[test]
@@ -367,8 +342,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two nodes")]
     fn rejects_single_node_network() {
-        let mut c = SimConfig::default();
-        c.nodes = 1;
+        let c = SimConfig { nodes: 1, ..SimConfig::default() };
         let _ = Engine::new(c);
     }
 

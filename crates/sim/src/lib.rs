@@ -46,12 +46,14 @@ mod config;
 mod engine;
 mod peer_sampling;
 mod report;
-mod scheme;
-mod wc;
 
-pub use config::{SchemeKind, SimConfig};
+pub use config::SimConfig;
 pub use engine::Engine;
 pub use peer_sampling::PeerSampler;
 pub use report::{CostReport, SimReport};
-pub use scheme::{LtncSchemeNode, RlncSchemeNode, Scheme, SendDecision};
-pub use wc::WcNode;
+// The per-node scheme behaviour lives in `ltnc-scheme` (shared with the
+// `ltnc-net` transport); re-exported here so existing `ltnc_sim::` paths
+// keep working.
+pub use ltnc_scheme::{
+    LtncSchemeNode, RlncSchemeNode, Scheme, SchemeKind, SchemeParams, SendDecision, WcNode,
+};

@@ -29,13 +29,16 @@ impl PeerSampler {
         assert!(nodes >= 2, "a network needs at least two nodes");
         assert!(view_size >= 1, "views must hold at least one peer");
         let view_size = view_size.min(nodes - 1);
-        let views = (0..nodes)
-            .map(|me| Self::random_view(me, nodes, view_size, rng))
-            .collect();
+        let views = (0..nodes).map(|me| Self::random_view(me, nodes, view_size, rng)).collect();
         PeerSampler { nodes, view_size, views }
     }
 
-    fn random_view<R: Rng + ?Sized>(me: usize, nodes: usize, view_size: usize, rng: &mut R) -> Vec<usize> {
+    fn random_view<R: Rng + ?Sized>(
+        me: usize,
+        nodes: usize,
+        view_size: usize,
+        rng: &mut R,
+    ) -> Vec<usize> {
         let mut others: Vec<usize> = (0..nodes).filter(|&x| x != me).collect();
         others.shuffle(rng);
         others.truncate(view_size);
@@ -64,9 +67,7 @@ impl PeerSampler {
     ///
     /// Panics if `node` is out of range.
     pub fn sample<R: Rng + ?Sized>(&self, node: usize, rng: &mut R) -> usize {
-        *self.views[node]
-            .choose(rng)
-            .expect("views are never empty")
+        *self.views[node].choose(rng).expect("views are never empty")
     }
 
     /// One period of view shuffling, in the spirit of Cyclon / the gossip
@@ -96,7 +97,13 @@ impl PeerSampler {
 
     /// Merges a gift into a view: fresh entries are kept, and when the view
     /// overflows, entries that are *not* part of the gift are evicted first.
-    fn absorb<R: Rng + ?Sized>(view: &mut Vec<usize>, gift: &[usize], me: usize, view_size: usize, rng: &mut R) {
+    fn absorb<R: Rng + ?Sized>(
+        view: &mut Vec<usize>,
+        gift: &[usize],
+        me: usize,
+        view_size: usize,
+        rng: &mut R,
+    ) {
         for &peer in gift {
             if peer != me && !view.contains(&peer) {
                 view.push(peer);
@@ -104,9 +111,8 @@ impl PeerSampler {
         }
         while view.len() > view_size {
             // Evict a random non-gift entry if one exists, otherwise any entry.
-            let evictable: Vec<usize> = (0..view.len())
-                .filter(|&i| !gift.contains(&view[i]))
-                .collect();
+            let evictable: Vec<usize> =
+                (0..view.len()).filter(|&i| !gift.contains(&view[i])).collect();
             let idx = if evictable.is_empty() {
                 rng.gen_range(0..view.len())
             } else {

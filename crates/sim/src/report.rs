@@ -79,7 +79,8 @@ impl SimReport {
         let content_bytes = (self.config.code_length * self.config.payload_size).max(1) as f64;
         CostReport {
             recode_control_per_packet: recode.control_cycles / packets,
-            recode_data_per_byte: recode.data_cycles / (packets * self.config.payload_size.max(1) as f64),
+            recode_data_per_byte: recode.data_cycles
+                / (packets * self.config.payload_size.max(1) as f64),
             decode_control_per_node: decode.control_cycles / nodes,
             decode_data_per_byte: decode.data_cycles / (nodes * content_bytes),
         }
@@ -105,12 +106,8 @@ mod tests {
     use ltnc_metrics::OpKind;
 
     fn base_report() -> SimReport {
-        let config = SimConfig {
-            nodes: 10,
-            code_length: 8,
-            payload_size: 4,
-            ..SimConfig::default()
-        };
+        let config =
+            SimConfig { nodes: 10, code_length: 8, payload_size: 4, ..SimConfig::default() };
         SimReport {
             scheme: SchemeKind::Ltnc,
             config,

@@ -17,11 +17,7 @@ fn main() {
     let k = 64; // native packets
     let m = 1024; // bytes per packet
     let content = random_content(k, m, 7);
-    println!(
-        "content: {} in {k} native packets of {}",
-        human_bytes(k * m),
-        human_bytes(m)
-    );
+    println!("content: {} in {k} native packets of {}", human_bytes(k * m), human_bytes(m));
 
     let mut rng = SmallRng::seed_from_u64(42);
     let mut source = LtncNode::with_all_natives(k, m, &content, LtncConfig::default());

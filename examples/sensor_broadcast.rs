@@ -71,18 +71,8 @@ fn main() {
 
     println!("{:<28} {:>14} {:>14}", "metric", "LTNC", "RLNC");
     println!("{:<28} {:>14} {:>14}", "packets received", ltnc_rx, rlnc_rx);
-    println!(
-        "{:<28} {:>14} {:>14}",
-        "payload XOR operations",
-        ltnc.data_ops(),
-        rlnc.data_ops()
-    );
-    println!(
-        "{:<28} {:>14} {:>14}",
-        "control operations",
-        ltnc.control_ops(),
-        rlnc.control_ops()
-    );
+    println!("{:<28} {:>14} {:>14}", "payload XOR operations", ltnc.data_ops(), rlnc.data_ops());
+    println!("{:<28} {:>14} {:>14}", "control operations", ltnc.control_ops(), rlnc.control_ops());
     println!(
         "{:<28} {:>14.3e} {:>14.3e}",
         "est. decode cycles (total)",

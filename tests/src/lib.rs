@@ -47,11 +47,7 @@ pub fn assert_packet_consistent(packet: &EncodedPacket, content: &[Payload]) {
     for i in packet.vector().iter_ones() {
         expected.xor_assign(&content[i]);
     }
-    assert_eq!(
-        packet.payload(),
-        &expected,
-        "packet payload does not match its code vector"
-    );
+    assert_eq!(packet.payload(), &expected, "packet payload does not match its code vector");
 }
 
 #[cfg(test)]

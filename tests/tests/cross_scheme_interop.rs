@@ -80,9 +80,9 @@ fn ltnc_node_consumes_rlnc_packets_without_corruption() {
     for _ in 0..20 * k {
         let p = rlnc_source.recode(&mut rng).unwrap();
         sink.receive(&p);
-        for i in 0..k {
+        for (i, expected) in content.iter().enumerate() {
             if let Some(v) = sink.native(i) {
-                assert_eq!(v, &content[i], "decoded native {i} is corrupted");
+                assert_eq!(v, expected, "decoded native {i} is corrupted");
             }
         }
     }

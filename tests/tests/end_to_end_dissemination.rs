@@ -19,11 +19,7 @@ fn quick(scheme: SchemeKind, seed: u64) -> SimConfig {
 fn all_three_schemes_disseminate_the_same_content() {
     for scheme in SchemeKind::ALL {
         let report = Engine::new(quick(scheme, 1)).run();
-        assert_eq!(
-            report.completed_nodes, 50,
-            "{}: not every node completed",
-            scheme.label()
-        );
+        assert_eq!(report.completed_nodes, 50, "{}: not every node completed", scheme.label());
         assert!(report.content_verified, "{}: content mismatch", scheme.label());
         assert!(report.completion_period.is_some());
     }

@@ -80,16 +80,16 @@ fn relay_churn_does_not_corrupt_content() {
             let t = rng.gen_range(0..relays.len());
             relays[t].receive(&p);
         }
-        for i in 0..relays.len() {
-            if relays[i].can_recode() {
-                if let Some(p) = relays[i].recode(&mut rng) {
+        for relay in &mut relays {
+            if relay.can_recode() {
+                if let Some(p) = relay.recode(&mut rng) {
                     sink.receive(&p);
                 }
             }
         }
-        for i in 0..k {
+        for (i, expected) in content.iter().enumerate() {
             if let Some(v) = sink.native(i) {
-                assert_eq!(v, &content[i], "native {i} corrupted under churn");
+                assert_eq!(v, expected, "native {i} corrupted under churn");
             }
         }
     }
@@ -125,7 +125,8 @@ fn zero_and_degenerate_packets_are_rejected_gracefully() {
     let content = random_content(k, m, 9);
     let mut node = LtncNode::new(k, m);
     // A zero packet (degree 0) is redundant by definition.
-    let zero = ltnc_gf2::EncodedPacket::new(ltnc_gf2::CodeVector::zero(k), ltnc_gf2::Payload::zero(m));
+    let zero =
+        ltnc_gf2::EncodedPacket::new(ltnc_gf2::CodeVector::zero(k), ltnc_gf2::Payload::zero(m));
     assert_eq!(node.receive(&zero), ltnc_core::ReceiveOutcome::RejectedRedundant);
     // Normal traffic still works afterwards.
     node.receive(&packet_of(&content, k, &[0]));

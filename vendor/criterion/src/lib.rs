@@ -1,0 +1,298 @@
+//! Vendored, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! Implements the call surface the workspace's benches use — benchmark
+//! groups, `bench_with_input`, `bench_function`, throughput annotation and
+//! the `criterion_group!` / `criterion_main!` macros — with a simple
+//! timing loop instead of criterion's statistical machinery: each
+//! benchmark is warmed up briefly, then timed over enough iterations to
+//! fill a short measurement window, and the mean time per iteration is
+//! printed (with throughput when configured). Configured warm-up and
+//! measurement times are treated as upper bounds and clamped so a full
+//! `cargo bench` stays fast; trends between benches remain comparable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (real criterion's `black_box`).
+pub use std::hint::black_box;
+
+const MAX_WARM_UP: Duration = Duration::from_millis(60);
+const MAX_MEASUREMENT: Duration = Duration::from_millis(250);
+
+/// Benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n# group {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            warm_up: Duration::from_millis(20),
+            measurement: Duration::from_millis(120),
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration (clamped to keep runs short).
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration.min(MAX_WARM_UP);
+        self
+    }
+
+    /// Sets the measurement window (clamped to keep runs short).
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration.min(MAX_MEASUREMENT);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by time instead.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used to derive rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`, handing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.warm_up, self.measurement);
+        f(&mut bencher, input);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher::new(self.warm_up, self.measurement);
+        f(&mut bencher);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        let Some(mean) = bencher.mean_ns() else {
+            println!("{}/{label}: no measurement (b.iter was never called)", self.name);
+            return;
+        };
+        let mut line = format!("{}/{label}: {} per iter", self.name, fmt_ns(mean));
+        if let Some(tp) = self.throughput {
+            let per_sec = |units: u64| units as f64 / (mean / 1e9);
+            match tp {
+                Throughput::Bytes(b) => {
+                    line.push_str(&format!(" ({:.1} MiB/s)", per_sec(b) / (1024.0 * 1024.0)));
+                }
+                Throughput::Elements(e) => {
+                    line.push_str(&format!(" ({:.0} elem/s)", per_sec(e)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration) -> Self {
+        Bencher { warm_up, measurement, measured: None }
+    }
+
+    /// Times `routine`, called repeatedly until the measurement window is
+    /// filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, also yielding a rough per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let total = (self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let total = total.clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..total {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), total));
+    }
+
+    fn mean_ns(&self) -> Option<f64> {
+        self.measured.map(|(elapsed, iters)| elapsed.as_nanos() as f64 / iters as f64)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(2));
+        group.throughput(Throughput::Bytes(64));
+        let data = vec![1u8; 64];
+        group.bench_with_input(BenchmarkId::new("sum", 64), &data, |b, d| {
+            b.iter(|| d.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn bench_function_without_iter_reports_gracefully() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |_b| {});
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).label, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(1024).label, "1024");
+    }
+}

@@ -1,0 +1,18 @@
+//! Vendored serde facade for offline builds.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Serialize,
+//! Deserialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! The marker traits exist only so the names also resolve in trait
+//! position; no serializer ships in-tree.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; nothing in-tree
+/// serializes).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; nothing in-tree
+/// deserializes).
+pub trait Deserialize<'de> {}

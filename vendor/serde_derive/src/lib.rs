@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The workspace derives serde traits on its public types so that a real
+//! serde can be slotted in when the build environment has network access,
+//! but nothing in-tree calls a serializer. These derives therefore expand
+//! to nothing: the derive *syntax* stays valid while adding zero code.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
