@@ -1,0 +1,72 @@
+//! Cold-encode vs warm-cache serving cost.
+//!
+//! The serving claim of `ltnc-serve`: once a generation's symbols sit in
+//! the warm ring, serving another client is a clone, not an encode. This
+//! bench times exactly that pair for each scheme — a fresh
+//! `make_packet` per request (what a cache-less server would do per
+//! client) against `ObjectStore::symbol` cycling over cached sequence
+//! numbers (what the edge cache does for every client after the first) —
+//! so the warm path must come out strictly cheaper for the store to pay
+//! its way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ltnc_scheme::{SchemeKind, SchemeParams};
+use ltnc_serve::ObjectStore;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn object(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut data = vec![0u8; len];
+    rng.fill(&mut data[..]);
+    data
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_symbol_cost");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &(k, m) in &[(16usize, 64usize), (64, 256), (256, 1024)] {
+        for scheme in [SchemeKind::Ltnc, SchemeKind::Rlnc] {
+            let params = SchemeParams::new(scheme, k, m);
+            let data = object(k * m, 3);
+            group.throughput(Throughput::Bytes(m as u64));
+
+            // Cold: what serving costs without the store — one encoder
+            // run per requested symbol.
+            let natives = ltnc_session::split_object(&data, params).1.remove(0);
+            let mut node = params.source_node(&natives);
+            let mut rng = SmallRng::seed_from_u64(9);
+            group.bench_with_input(
+                BenchmarkId::new(format!("cold_encode_{}", scheme.label()), k),
+                &k,
+                |b, _| b.iter(|| node.make_packet(&mut rng).expect("source always encodes")),
+            );
+
+            // Warm: the repeated-object workload — every request lands in
+            // the pre-filled ring.
+            let capacity = 4 * k;
+            let store = ObjectStore::new(capacity).expect("capacity");
+            store.register(1, &data, params).expect("register");
+            for seq in 0..capacity as u64 {
+                store.symbol(1, 0, seq).expect("fill");
+            }
+            let mut seq = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(format!("warm_cache_{}", scheme.label()), k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        let symbol = store.symbol(1, 0, seq).expect("hit");
+                        seq = (seq + 1) % capacity as u64;
+                        symbol
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm);
+criterion_main!(benches);

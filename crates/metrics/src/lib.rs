@@ -30,6 +30,7 @@ mod cost;
 mod counters;
 mod histogram;
 mod series;
+mod serve;
 mod summary;
 mod wire;
 
@@ -37,5 +38,6 @@ pub use cost::{CostBreakdown, CostModel};
 pub use counters::{OpCounters, OpKind};
 pub use histogram::Histogram;
 pub use series::TimeSeries;
+pub use serve::ServeCounters;
 pub use summary::Summary;
 pub use wire::WireCounters;

@@ -1,0 +1,150 @@
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Accounting of a serving endpoint (the TCP edge-cache server).
+///
+/// Where [`crate::WireCounters`] describes one gossip endpoint's traffic,
+/// `ServeCounters` describes a *server*: how many client sessions it
+/// accepted and finished, what left on the wire, how the header-first
+/// feedback channel fared, and — the point of the warm store — how often
+/// a symbol was served from cache instead of encoded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeCounters {
+    /// Client sessions accepted (request matched a registered object).
+    pub sessions_accepted: u64,
+    /// Client requests refused (unknown object, scheme mismatch, or the
+    /// accept queue was full).
+    pub sessions_rejected: u64,
+    /// Sessions that reached the client's final object-complete signal.
+    pub sessions_completed: u64,
+    /// Bytes written to client sockets.
+    pub bytes_out: u64,
+    /// Bytes read from client sockets.
+    pub bytes_in: u64,
+    /// Header-first transfer offers sent.
+    pub transfers_offered: u64,
+    /// Offers the client aborted after seeing only the header.
+    pub transfers_aborted: u64,
+    /// Offers that carried their payload to acceptance.
+    pub transfers_delivered: u64,
+    /// Symbols served straight from the warm cache (no coding work).
+    pub cache_hits: u64,
+    /// Symbols that had to be encoded on demand.
+    pub cache_misses: u64,
+    /// Symbols evicted to keep a warm ring at capacity.
+    pub cache_evictions: u64,
+}
+
+impl ServeCounters {
+    /// All-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        ServeCounters::default()
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &ServeCounters) {
+        self.sessions_accepted += other.sessions_accepted;
+        self.sessions_rejected += other.sessions_rejected;
+        self.sessions_completed += other.sessions_completed;
+        self.bytes_out += other.bytes_out;
+        self.bytes_in += other.bytes_in;
+        self.transfers_offered += other.transfers_offered;
+        self.transfers_aborted += other.transfers_aborted;
+        self.transfers_delivered += other.transfers_delivered;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+    }
+
+    /// Fraction of symbol requests served from the warm cache, in
+    /// `[0, 1]`; `0` when no symbol was ever requested.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of offered transfers the client aborted at the header, in
+    /// `[0, 1]`; `0` when nothing was offered.
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        if self.transfers_offered == 0 {
+            0.0
+        } else {
+            self.transfers_aborted as f64 / self.transfers_offered as f64
+        }
+    }
+}
+
+impl fmt::Display for ServeCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sessions {} accepted / {} rejected / {} completed, \
+             {} B out / {} B in, transfers {} offered / {} aborted / {} delivered, \
+             cache {} hits / {} misses / {} evictions ({:.0}% hit)",
+            self.sessions_accepted,
+            self.sessions_rejected,
+            self.sessions_completed,
+            self.bytes_out,
+            self.bytes_in,
+            self.transfers_offered,
+            self.transfers_aborted,
+            self.transfers_delivered,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_hit_rate() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = ServeCounters { sessions_accepted: 1, cache_hits: 10, ..ServeCounters::new() };
+        let b = ServeCounters {
+            sessions_accepted: 2,
+            cache_hits: 5,
+            cache_misses: 5,
+            bytes_out: 100,
+            ..ServeCounters::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.sessions_accepted, 3);
+        assert_eq!(a.cache_hits, 15);
+        assert_eq!(a.bytes_out, 100);
+    }
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let zero = ServeCounters::new();
+        assert_eq!(zero.cache_hit_rate(), 0.0);
+        assert_eq!(zero.abort_rate(), 0.0);
+        let c = ServeCounters {
+            cache_hits: 3,
+            cache_misses: 1,
+            transfers_offered: 8,
+            transfers_aborted: 2,
+            ..ServeCounters::new()
+        };
+        assert!((c.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((c.abort_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = ServeCounters::new().to_string();
+        assert!(s.contains("0 accepted"));
+        assert!(s.contains("0 hits"));
+    }
+}

@@ -25,6 +25,17 @@
 //!   generation the sender of this message has fully decoded
 //!   ([`GENERATION_OBJECT`] means the whole object).
 //!
+//! Three further kinds carry the `ltnc-serve` request/serve handshake on
+//! stream transports (the data plane is the same three-way transfer):
+//!
+//! * `REQUEST` — empty body; the envelope's `session` field names the
+//!   object id the client wants, `scheme` the coding scheme it expects.
+//! * `MANIFEST` — `object len (u64 LE)` + `k (u32 LE)` + `m (u32 LE)`:
+//!   the server's description of the object about to be served, enough
+//!   for the client to size its decode state.
+//! * `REJECT` — empty body; the server will not serve the requested
+//!   object/scheme.
+//!
 //! The codec is pure (`&[u8]` → values, values → `Vec<u8>`): no sockets, no
 //! I/O, so it can be driven by UDP today and by a stream transport later.
 //! [`decode_header`] needs only [`ENVELOPE_HEADER_BYTES`] bytes, mirroring
@@ -60,6 +71,9 @@ pub const MAX_PAYLOAD_SIZE: usize = 1 << 24;
 
 const TRANSFER_ID_BYTES: usize = 8;
 
+/// Bytes of a `MANIFEST` body: object length + `k` + `m`.
+const MANIFEST_BODY_BYTES: usize = 8 + 4 + 4;
+
 /// Message kind discriminants as they appear on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -75,6 +89,13 @@ pub enum MessageKind {
     /// Sender of this message has fully decoded a generation (or the whole
     /// object, see [`GENERATION_OBJECT`]).
     Complete = 4,
+    /// Client request for the object named by the envelope's `session`
+    /// field (serving handshake, stream transports).
+    Request = 5,
+    /// Server description of the object about to be served.
+    Manifest = 6,
+    /// Server refusal to serve the requested object/scheme.
+    Reject = 7,
 }
 
 impl MessageKind {
@@ -85,6 +106,9 @@ impl MessageKind {
             2 => Ok(MessageKind::FeedbackAbort),
             3 => Ok(MessageKind::FeedbackAccept),
             4 => Ok(MessageKind::Complete),
+            5 => Ok(MessageKind::Request),
+            6 => Ok(MessageKind::Manifest),
+            7 => Ok(MessageKind::Reject),
             other => Err(NetError::BadKind(other)),
         }
     }
@@ -132,6 +156,21 @@ pub enum Message {
     },
     /// The peer has fully decoded the envelope's generation.
     Complete,
+    /// Serving handshake: the client asks for the object named by the
+    /// envelope's `session` field, coded with the envelope's `scheme`.
+    Request,
+    /// Serving handshake: the server's object description. Dimensions are
+    /// `u32` on the wire (comfortably above the decoder safety caps).
+    Manifest {
+        /// Exact object length in bytes (reassembly trims to this).
+        object_len: u64,
+        /// Code length `k` every generation uses.
+        code_length: u32,
+        /// Payload size `m` in bytes.
+        payload_size: u32,
+    },
+    /// Serving handshake: the server refuses the request.
+    Reject,
 }
 
 impl Message {
@@ -144,6 +183,9 @@ impl Message {
             Message::Feedback { accept: true, .. } => MessageKind::FeedbackAccept,
             Message::Feedback { accept: false, .. } => MessageKind::FeedbackAbort,
             Message::Complete => MessageKind::Complete,
+            Message::Request => MessageKind::Request,
+            Message::Manifest { .. } => MessageKind::Manifest,
+            Message::Reject => MessageKind::Reject,
         }
     }
 }
@@ -183,7 +225,12 @@ pub fn encode(header: &EnvelopeHeader, message: &Message) -> Vec<u8> {
         Message::Feedback { transfer, .. } => {
             out.extend_from_slice(&transfer.to_le_bytes());
         }
-        Message::Complete => {}
+        Message::Manifest { object_len, code_length, payload_size } => {
+            out.extend_from_slice(&object_len.to_le_bytes());
+            out.extend_from_slice(&code_length.to_le_bytes());
+            out.extend_from_slice(&payload_size.to_le_bytes());
+        }
+        Message::Complete | Message::Request | Message::Reject => {}
     }
     out
 }
@@ -243,7 +290,8 @@ pub fn required_len(prefix: &[u8]) -> Result<usize, NetError> {
 fn frame_len(kind: MessageKind, bytes: &[u8]) -> Result<usize, NetError> {
     let body_start = ENVELOPE_HEADER_BYTES;
     match kind {
-        MessageKind::Complete => Ok(body_start),
+        MessageKind::Complete | MessageKind::Request | MessageKind::Reject => Ok(body_start),
+        MessageKind::Manifest => Ok(body_start + MANIFEST_BODY_BYTES),
         MessageKind::FeedbackAbort | MessageKind::FeedbackAccept => {
             Ok(body_start + TRANSFER_ID_BYTES)
         }
@@ -297,6 +345,22 @@ pub fn decode(bytes: &[u8]) -> Result<Envelope, NetError> {
     let body = &bytes[ENVELOPE_HEADER_BYTES..];
     let message = match header.kind {
         MessageKind::Complete => Message::Complete,
+        MessageKind::Request => Message::Request,
+        MessageKind::Reject => Message::Reject,
+        MessageKind::Manifest => {
+            let object_len = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+            let code_length = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
+            let payload_size = u32::from_le_bytes(body[12..16].try_into().expect("4 bytes"));
+            // The same safety caps the data plane enforces: a hostile
+            // manifest must not drive the client's decode-state allocation.
+            if code_length as usize > MAX_CODE_LENGTH || payload_size as usize > MAX_PAYLOAD_SIZE {
+                return Err(NetError::FrameTooLarge {
+                    code_length: code_length as usize,
+                    payload_size: payload_size as usize,
+                });
+            }
+            Message::Manifest { object_len, code_length, payload_size }
+        }
         MessageKind::FeedbackAbort | MessageKind::FeedbackAccept => {
             let transfer = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
             Message::Feedback { transfer, accept: header.kind == MessageKind::FeedbackAccept }
@@ -422,6 +486,12 @@ mod tests {
                 &header(MessageKind::DataPayload),
                 &Message::DataPayload { transfer: 3, packet: packet.clone() },
             ),
+            encode(&header(MessageKind::Request), &Message::Request),
+            encode(
+                &header(MessageKind::Manifest),
+                &Message::Manifest { object_len: 1000, code_length: 16, payload_size: 64 },
+            ),
+            encode(&header(MessageKind::Reject), &Message::Reject),
         ];
         for frame in &frames {
             for cut in 0..frame.len() {
@@ -457,6 +527,39 @@ mod tests {
                 Err(other) => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn serving_handshake_kinds_roundtrip() {
+        let request = Envelope {
+            header: EnvelopeHeader {
+                kind: MessageKind::Request,
+                scheme: SchemeKind::Rlnc,
+                session: 0xB00C, // the object id in the serving handshake
+                generation: GENERATION_OBJECT,
+            },
+            message: Message::Request,
+        };
+        let bytes = encode_envelope(&request);
+        assert_eq!(bytes.len(), ENVELOPE_HEADER_BYTES);
+        assert_eq!(decode(&bytes).unwrap(), request);
+
+        let manifest = Message::Manifest { object_len: 70_000, code_length: 32, payload_size: 128 };
+        let bytes = encode(&header(MessageKind::Manifest), &manifest);
+        assert_eq!(bytes.len(), ENVELOPE_HEADER_BYTES + 16);
+        assert_eq!(decode(&bytes).unwrap().message, manifest);
+
+        let bytes = encode(&header(MessageKind::Reject), &Message::Reject);
+        assert_eq!(decode(&bytes).unwrap().message, Message::Reject);
+    }
+
+    #[test]
+    fn hostile_manifest_dimensions_are_capped() {
+        let message = Message::Manifest { object_len: u64::MAX, code_length: 1, payload_size: 1 };
+        let mut bytes = encode(&header(MessageKind::Manifest), &message);
+        let k_at = ENVELOPE_HEADER_BYTES + 8;
+        bytes[k_at..k_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(NetError::FrameTooLarge { .. })));
     }
 
     #[test]

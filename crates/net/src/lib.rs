@@ -15,7 +15,14 @@
 //!   cost payload bytes);
 //! * [`generation`] — chunking of arbitrarily large objects into
 //!   generations of `k` payloads, per-generation decode state, push
-//!   scheduling and bit-exact reassembly;
+//!   scheduling and bit-exact reassembly (now the transport-neutral
+//!   [`ltnc_session`] crate, re-exported here under its historical paths
+//!   so UDP gossip and the TCP serving path of `ltnc-serve` share one
+//!   implementation);
+//! * [`stream`] — the byte-stream binding of the envelope codec: a
+//!   [`stream::FrameReassembler`] that turns arbitrarily chunked TCP
+//!   reads back into complete envelopes via [`envelope::required_len`],
+//!   tolerant of hostile input;
 //! * [`peer`] — the [`peer::PeerNode`] actor: bounded-queue backpressure,
 //!   per-peer in-flight budgets, the aggressiveness gate for relays, and
 //!   graceful shutdown with full wire-level accounting
@@ -42,12 +49,18 @@
 
 pub mod envelope;
 mod error;
-pub mod generation;
 pub mod peer;
+pub mod stream;
 pub mod swarm;
+
+// Backward-compatible re-export: `ltnc_net::generation::…` keeps working
+// even though the implementation moved to the transport-neutral
+// `ltnc-session` crate.
+pub use ltnc_session::generation;
 
 pub use envelope::{Envelope, EnvelopeHeader, Message, MessageKind};
 pub use error::NetError;
-pub use generation::{split_object, ObjectManifest, ReceiverSession, SourceSession};
+pub use ltnc_session::{split_object, ObjectManifest, ReceiverSession, SourceSession};
 pub use peer::{NodeConfig, NodeOptions, NodeRole, PeerNode, PeerReport};
+pub use stream::FrameReassembler;
 pub use swarm::{run_localhost_swarm, SwarmConfig, SwarmReport};

@@ -514,6 +514,9 @@ impl Actor {
                     self.peer_done.entry(from).or_default().insert(header.generation);
                 }
             }
+            // The serving handshake (ltnc-serve) rides the same envelope but
+            // has no meaning in the gossip protocol.
+            Message::Request | Message::Manifest { .. } | Message::Reject => {}
         }
     }
 

@@ -1,0 +1,218 @@
+//! Byte-stream binding of the envelope codec.
+//!
+//! UDP preserves message boundaries, so the datagram path decodes each
+//! buffer as exactly one frame. A TCP (or QUIC) connection delivers an
+//! undifferentiated byte stream chopped at arbitrary points; this module
+//! reconstructs frame boundaries from it. The envelope format needs no
+//! extra length prefix for that: [`crate::envelope::required_len`] sizes a
+//! frame incrementally from any prefix, so the reassembler just
+//! accumulates bytes until a complete frame is present, decodes it, and
+//! carries the remainder forward.
+//!
+//! Hostile input is survivable by construction: malformed bytes surface
+//! as a [`NetError`] (the caller should drop the connection — framing is
+//! unrecoverable once the stream is corrupt), advertised dimensions are
+//! capped by the codec before any allocation happens, and nothing panics.
+
+use crate::envelope::{self, Envelope};
+use crate::NetError;
+
+/// Largest complete frame the reassembler will buffer.
+///
+/// Slightly above the worst legal frame (envelope header, transfer id,
+/// `gf2` wire header with a [`envelope::MAX_CODE_LENGTH`] bitmap, and a
+/// [`envelope::MAX_PAYLOAD_SIZE`] payload) so every frame the codec can
+/// legally produce fits, while a hostile length cannot grow the buffer
+/// without bound.
+pub const MAX_FRAME_BYTES: usize = envelope::ENVELOPE_HEADER_BYTES
+    + 8
+    + 16
+    + envelope::MAX_CODE_LENGTH / 8
+    + envelope::MAX_PAYLOAD_SIZE;
+
+/// Incremental frame reassembly over a byte stream.
+///
+/// Feed raw reads in with [`FrameReassembler::extend`], then drain
+/// complete envelopes with [`FrameReassembler::next_frame`] until it
+/// returns `Ok(None)` (more bytes needed). Any `Err` is fatal for the
+/// stream.
+///
+/// ```
+/// use ltnc_net::envelope::{self, EnvelopeHeader, Message, MessageKind};
+/// use ltnc_net::stream::FrameReassembler;
+/// use ltnc_scheme::SchemeKind;
+///
+/// let header = EnvelopeHeader {
+///     kind: MessageKind::Complete,
+///     scheme: SchemeKind::Ltnc,
+///     session: 7,
+///     generation: 0,
+/// };
+/// let frame = envelope::encode(&header, &Message::Complete);
+/// let mut reassembler = FrameReassembler::new();
+/// // Bytes arrive one at a time; the frame appears exactly once complete.
+/// for (i, &byte) in frame.iter().enumerate() {
+///     reassembler.extend(&[byte]);
+///     let decoded = reassembler.next_frame().unwrap();
+///     assert_eq!(decoded.is_some(), i == frame.len() - 1);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameReassembler {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by decoded frames; compacted when
+    /// it grows past half the buffer so the amortized cost stays linear.
+    start: usize,
+}
+
+impl FrameReassembler {
+    /// An empty reassembler.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameReassembler::default()
+    }
+
+    /// Appends freshly read bytes to the pending buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered bytes not yet consumed by a decoded frame.
+    #[must_use]
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Tries to decode the next complete frame from the buffered bytes.
+    ///
+    /// Returns `Ok(None)` when the buffer holds only a proper prefix of a
+    /// frame (read more and call again). After an `Err` the stream is
+    /// unframeable and should be dropped.
+    ///
+    /// # Errors
+    ///
+    /// Any codec error of [`envelope::decode`] on malformed input, plus
+    /// [`NetError::FrameTooLarge`] when a frame would exceed
+    /// [`MAX_FRAME_BYTES`].
+    pub fn next_frame(&mut self) -> Result<Option<Envelope>, NetError> {
+        let pending = &self.buf[self.start..];
+        let total = match envelope::required_len(pending) {
+            Ok(total) => total,
+            Err(NetError::Truncated { needed, .. }) => {
+                debug_assert!(needed > pending.len(), "required_len must ask for more");
+                return Ok(None);
+            }
+            Err(fatal) => return Err(fatal),
+        };
+        if total > MAX_FRAME_BYTES {
+            // Unreachable while the codec's dimension caps hold, but the
+            // buffer-growth bound must not depend on that invariant.
+            return Err(NetError::FrameTooLarge { code_length: 0, payload_size: total });
+        }
+        if pending.len() < total {
+            return Ok(None);
+        }
+        // Exact slice: a datagram decoder would reject trailing bytes, and
+        // on a stream the "trailing" bytes are simply the next frame.
+        let envelope = envelope::decode(&pending[..total])?;
+        self.start += total;
+        Ok(Some(envelope))
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{encode, EnvelopeHeader, Message, MessageKind};
+    use ltnc_gf2::{CodeVector, EncodedPacket, Payload};
+    use ltnc_scheme::SchemeKind;
+
+    fn header(kind: MessageKind) -> EnvelopeHeader {
+        EnvelopeHeader { kind, scheme: SchemeKind::Rlnc, session: 11, generation: 2 }
+    }
+
+    fn sample_frames() -> Vec<Vec<u8>> {
+        let packet = EncodedPacket::new(
+            CodeVector::from_indices(16, &[1, 4, 9]),
+            Payload::from_vec((0..33u8).collect()),
+        );
+        vec![
+            encode(&header(MessageKind::Request), &Message::Request),
+            encode(
+                &header(MessageKind::Manifest),
+                &Message::Manifest { object_len: 999, code_length: 16, payload_size: 33 },
+            ),
+            encode(
+                &header(MessageKind::DataHeader),
+                &Message::DataHeader {
+                    transfer: 5,
+                    payload_size: packet.payload_size(),
+                    vector: packet.vector().clone(),
+                },
+            ),
+            encode(
+                &header(MessageKind::FeedbackAccept),
+                &Message::Feedback { transfer: 5, accept: true },
+            ),
+            encode(
+                &header(MessageKind::DataPayload),
+                &Message::DataPayload { transfer: 5, packet },
+            ),
+            encode(&header(MessageKind::Complete), &Message::Complete),
+        ]
+    }
+
+    #[test]
+    fn whole_stream_at_once_yields_every_frame_in_order() {
+        let frames = sample_frames();
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        let mut reassembler = FrameReassembler::new();
+        reassembler.extend(&stream);
+        for frame in &frames {
+            let envelope = reassembler.next_frame().expect("valid").expect("complete");
+            assert_eq!(envelope::encode_envelope(&envelope), *frame);
+        }
+        assert_eq!(reassembler.next_frame().unwrap(), None);
+        assert_eq!(reassembler.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn one_byte_at_a_time_yields_identical_frames() {
+        let frames = sample_frames();
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        let mut reassembler = FrameReassembler::new();
+        let mut decoded = Vec::new();
+        for &byte in &stream {
+            reassembler.extend(&[byte]);
+            while let Some(envelope) = reassembler.next_frame().expect("valid stream") {
+                decoded.push(envelope::encode_envelope(&envelope));
+            }
+        }
+        assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn corrupt_magic_is_a_fatal_error() {
+        let mut reassembler = FrameReassembler::new();
+        reassembler.extend(b"XXXX garbage that is long enough to parse a header");
+        assert!(matches!(reassembler.next_frame(), Err(NetError::BadMagic(_))));
+    }
+
+    #[test]
+    fn short_garbage_waits_for_more_bytes_then_fails() {
+        // Fewer than ENVELOPE_HEADER_BYTES garbage bytes: not yet decidable.
+        let mut reassembler = FrameReassembler::new();
+        reassembler.extend(&[0xFF; 5]);
+        assert_eq!(reassembler.next_frame().unwrap(), None);
+        reassembler.extend(&[0xFF; 32]);
+        assert!(reassembler.next_frame().is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Edge-cache serving demo: one warm TCP server, many short-lived
+//! clients, zipf-ish object popularity — the workload of *Caching at the
+//! Edge with LT codes* run over real sockets for each scheme (WC, LTNC,
+//! RLNC), reporting per-scheme throughput and warm-cache hit rates.
+//!
+//! ```text
+//! cargo run --release -p ltnc-serve --example cache_serving
+//! cargo run --release -p ltnc-serve --example cache_serving -- \
+//!     --objects 4 --clients 24 --size 65536 --k 32 --m 256 --scheme ltnc
+//! cargo run --release -p ltnc-serve --example cache_serving -- --smoke
+//! ```
+//!
+//! `--smoke` is the CI configuration: one small object, 3 clients, all
+//! three schemes, a few seconds end to end.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ltnc_scheme::{SchemeKind, SchemeParams};
+use ltnc_serve::{fetch, ClientOptions, ServeOptions, Server};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    objects: usize,
+    clients: usize,
+    size: usize,
+    k: usize,
+    m: usize,
+    cache: usize,
+    schemes: Vec<SchemeKind>,
+    timeout_secs: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        objects: 3,
+        clients: 12,
+        size: 24 * 1024,
+        k: 16,
+        m: 64,
+        cache: 256,
+        schemes: vec![SchemeKind::Wc, SchemeKind::Ltnc, SchemeKind::Rlnc],
+        timeout_secs: 60,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--objects" => {
+                args.objects =
+                    value("--objects")?.parse().map_err(|e| format!("--objects: {e}"))?;
+            }
+            "--clients" => {
+                args.clients =
+                    value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--size" => {
+                args.size = value("--size")?.parse().map_err(|e| format!("--size: {e}"))?;
+            }
+            "--k" => args.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--m" => args.m = value("--m")?.parse().map_err(|e| format!("--m: {e}"))?,
+            "--cache" => {
+                args.cache = value("--cache")?.parse().map_err(|e| format!("--cache: {e}"))?;
+            }
+            "--timeout" => {
+                args.timeout_secs =
+                    value("--timeout")?.parse().map_err(|e| format!("--timeout: {e}"))?;
+            }
+            "--scheme" => {
+                let name = value("--scheme")?;
+                let kind = SchemeKind::parse(&name)
+                    .ok_or_else(|| format!("unknown scheme {name} (wc|rlnc|ltnc)"))?;
+                args.schemes = vec![kind];
+            }
+            "--smoke" => {
+                // The CI configuration: small and fast, still end to end.
+                args.objects = 1;
+                args.clients = 3;
+                args.size = 2048;
+                args.k = 8;
+                args.m = 32;
+                args.cache = 64;
+                args.timeout_secs = 30;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: cache_serving [--objects N] [--clients N] [--size BYTES] \
+                     [--k K] [--m M] [--cache SYMBOLS] [--scheme wc|rlnc|ltnc] \
+                     [--timeout SECS] [--smoke]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Deterministic pseudo-random object for id `id`.
+fn make_object(id: u64, len: usize) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(0xCAFE ^ id);
+    let mut object = vec![0u8; len];
+    rng.fill(&mut object[..]);
+    object
+}
+
+/// Zipf-ish popularity: object rank r (0-based) drawn with weight
+/// 1 / (r + 1).
+fn pick_object(rng: &mut SmallRng, objects: usize) -> u64 {
+    let weights: Vec<f64> = (0..objects).map(|r| 1.0 / (r + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen_range(0.0..total);
+    for (rank, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return rank as u64 + 1;
+        }
+        draw -= w;
+    }
+    objects as u64
+}
+
+fn run_scheme(scheme: SchemeKind, args: &Args) -> Result<String, String> {
+    let options =
+        ServeOptions { warm_cache_capacity: args.cache, workers: 4, ..ServeOptions::default() };
+    let server = Server::spawn("127.0.0.1:0".parse().expect("valid addr"), options)
+        .map_err(|e| format!("spawn: {e}"))?;
+
+    let objects: Vec<(u64, Arc<Vec<u8>>)> = (0..args.objects)
+        .map(|i| (i as u64 + 1, Arc::new(make_object(i as u64 + 1, args.size))))
+        .collect();
+    for (id, object) in &objects {
+        server
+            .register(*id, object, SchemeParams::new(scheme, args.k, args.m))
+            .map_err(|e| format!("register {id}: {e}"))?;
+    }
+
+    let addr = server.local_addr();
+    let client_options =
+        ClientOptions { timeout: Duration::from_secs(args.timeout_secs), ..Default::default() };
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let objects = objects.clone();
+            let n_objects = args.objects;
+            thread::spawn(move || -> Result<u64, String> {
+                let mut rng = SmallRng::seed_from_u64(0xC11E + c as u64);
+                let id = pick_object(&mut rng, n_objects);
+                let report = fetch(addr, id, scheme, &client_options)
+                    .map_err(|e| format!("client {c} (object {id}): {e}"))?;
+                let expected =
+                    &objects.iter().find(|(oid, _)| *oid == id).expect("registered id").1;
+                if report.object != ***expected {
+                    return Err(format!("client {c}: object {id} reassembled WRONG"));
+                }
+                Ok(report.wire.bytes_received)
+            })
+        })
+        .collect();
+
+    let mut bytes_received = 0u64;
+    let mut failures = Vec::new();
+    for handle in handles {
+        match handle.join().expect("client thread panicked") {
+            Ok(bytes) => bytes_received += bytes,
+            Err(e) => failures.push(e),
+        }
+    }
+    let elapsed = started.elapsed();
+    let counters = server.shutdown();
+
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    let throughput_mib = bytes_received as f64 / (1 << 20) as f64 / elapsed.as_secs_f64();
+    Ok(format!(
+        "{:<5} {:>8} {:>10} {:>11} {:>10} {:>9} {:>9} {:>8.1}% {:>11.2}",
+        scheme.label(),
+        format!("{}/{}", counters.sessions_completed, args.clients),
+        format!("{:.2}s", elapsed.as_secs_f64()),
+        counters.bytes_out,
+        counters.transfers_delivered,
+        counters.cache_hits,
+        counters.cache_misses,
+        counters.cache_hit_rate() * 100.0,
+        throughput_mib,
+    ))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serving {} object(s) of {} B (k = {}, m = {}, cache = {} symbols/gen) \
+         to {} clients per scheme\n",
+        args.objects, args.size, args.k, args.m, args.cache, args.clients,
+    );
+    println!(
+        "{:<5} {:>8} {:>10} {:>11} {:>10} {:>9} {:>9} {:>9} {:>11}",
+        "sch", "done", "time", "bytes-out", "delivered", "hits", "misses", "hit-rate", "MiB/s"
+    );
+
+    let mut all_ok = true;
+    for scheme in args.schemes.clone() {
+        match run_scheme(scheme, &args) {
+            Ok(row) => println!("{row}"),
+            Err(e) => {
+                eprintln!("{}: FAILED: {e}", scheme.label());
+                all_ok = false;
+            }
+        }
+    }
+
+    if all_ok {
+        println!("\nall schemes served every client bit-exactly");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nsome serving runs failed");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,248 @@
+//! The client side of a serving session: fetch one object by id over TCP
+//! and verify bit-exact reassembly.
+//!
+//! A client is deliberately cheap — one blocking socket, one
+//! [`FrameReassembler`], one [`ReceiverSession`] — because the serving
+//! workload is *many short-lived clients*: the cache_serving example and
+//! the integration tests run dozens of these concurrently against one
+//! server.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use ltnc_metrics::WireCounters;
+use ltnc_net::envelope::{self, EnvelopeHeader, Message, MessageKind, GENERATION_OBJECT};
+use ltnc_net::stream::FrameReassembler;
+use ltnc_scheme::{SchemeKind, SchemeParams};
+use ltnc_session::generation::{ObjectManifest, ReceiverSession};
+
+use crate::ServeError;
+
+/// Hard cap on the generation count a manifest may imply. The envelope
+/// codec caps `k` and `m`, but `object_len` is only bounded here: without
+/// this check a hostile server could declare a tiny generation size and a
+/// huge object, driving the client to allocate billions of decoder nodes.
+const MAX_GENERATIONS: u64 = 1 << 20;
+
+/// Tuning of one fetch.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientOptions {
+    /// Overall deadline for the whole fetch.
+    pub timeout: Duration,
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions { timeout: Duration::from_secs(30), connect_timeout: Duration::from_secs(5) }
+    }
+}
+
+/// Outcome of a successful fetch.
+#[derive(Debug)]
+pub struct FetchReport {
+    /// The reassembled object, already length-verified against the
+    /// manifest.
+    pub object: Vec<u8>,
+    /// The manifest the server declared.
+    pub manifest: ObjectManifest,
+    /// Client-side wire accounting (offers answered, payloads received,
+    /// bytes both ways).
+    pub wire: WireCounters,
+    /// Wall-clock time from connect to reassembly.
+    pub elapsed: Duration,
+}
+
+/// Fetches object `object_id`, expected to be served under `scheme`, from
+/// the server at `addr`. Blocks until the object reassembles bit-exactly
+/// or the deadline passes.
+///
+/// # Errors
+///
+/// [`ServeError::Rejected`] when the server refuses the object/scheme,
+/// [`ServeError::TimedOut`] past the deadline, [`ServeError::Corrupt`]
+/// when reassembly fails verification, plus transport and protocol
+/// errors.
+pub fn fetch(
+    addr: SocketAddr,
+    object_id: u64,
+    scheme: SchemeKind,
+    options: &ClientOptions,
+) -> Result<FetchReport, ServeError> {
+    let started = Instant::now();
+    let deadline = started + options.timeout;
+    let mut stream = TcpStream::connect_timeout(&addr, options.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(5)))?;
+
+    let mut wire = WireCounters::new();
+    let mut reassembler = FrameReassembler::new();
+    let mut receiver: Option<ReceiverSession> = None;
+    let mut manifest: Option<ObjectManifest> = None;
+
+    let request = EnvelopeHeader {
+        kind: MessageKind::Request,
+        scheme,
+        session: object_id,
+        generation: GENERATION_OBJECT,
+    };
+    send(&mut stream, &mut wire, &request, &Message::Request)?;
+
+    let mut buf = vec![0u8; 16 * 1024];
+    loop {
+        if Instant::now() > deadline {
+            return Err(ServeError::TimedOut);
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(ServeError::Disconnected),
+            Ok(n) => {
+                wire.bytes_received += n as u64;
+                reassembler.extend(&buf[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+
+        while let Some(frame) = reassembler.next_frame()? {
+            wire.datagrams_received += 1;
+            let generation = frame.header.generation;
+            match frame.message {
+                Message::Reject => return Err(ServeError::Rejected),
+                Message::Manifest { object_len, code_length, payload_size } => {
+                    if receiver.is_some() {
+                        return Err(ServeError::UnexpectedMessage("second MANIFEST"));
+                    }
+                    if code_length == 0 || payload_size == 0 {
+                        return Err(ServeError::Corrupt("degenerate manifest dimensions"));
+                    }
+                    let generation_bytes = u64::from(code_length) * u64::from(payload_size);
+                    if object_len.div_ceil(generation_bytes) > MAX_GENERATIONS {
+                        return Err(ServeError::Corrupt("manifest implies too many generations"));
+                    }
+                    let params =
+                        SchemeParams::new(scheme, code_length as usize, payload_size as usize);
+                    let declared = ObjectManifest { object_len, params };
+                    receiver = Some(ReceiverSession::new(declared));
+                    manifest = Some(declared);
+                }
+                Message::DataHeader { transfer, payload_size, vector } => {
+                    let Some(receiver) = receiver.as_ref() else {
+                        return Err(ServeError::UnexpectedMessage("offer before MANIFEST"));
+                    };
+                    let expected = manifest.expect("manifest set with receiver");
+                    let accept = payload_size == expected.params.payload_size
+                        && receiver.would_accept(generation, &vector);
+                    if !accept {
+                        wire.transfers_aborted += 1;
+                    }
+                    let kind = if accept {
+                        MessageKind::FeedbackAccept
+                    } else {
+                        MessageKind::FeedbackAbort
+                    };
+                    send(
+                        &mut stream,
+                        &mut wire,
+                        &reply_header(&expected, object_id, kind, generation),
+                        &Message::Feedback { transfer, accept },
+                    )?;
+                }
+                Message::DataPayload { packet, .. } => {
+                    let Some(session) = receiver.as_mut() else {
+                        return Err(ServeError::UnexpectedMessage("payload before MANIFEST"));
+                    };
+                    let expected = manifest.expect("manifest set with receiver");
+                    wire.transfers_delivered += 1;
+                    let was_complete = session.generation_complete(generation);
+                    if session.deliver(generation, &packet) {
+                        wire.useful_deliveries += 1;
+                    }
+                    if !was_complete && session.generation_complete(generation) {
+                        send(
+                            &mut stream,
+                            &mut wire,
+                            &reply_header(&expected, object_id, MessageKind::Complete, generation),
+                            &Message::Complete,
+                        )?;
+                    }
+                    if session.is_complete() {
+                        send(
+                            &mut stream,
+                            &mut wire,
+                            &reply_header(
+                                &expected,
+                                object_id,
+                                MessageKind::Complete,
+                                GENERATION_OBJECT,
+                            ),
+                            &Message::Complete,
+                        )?;
+                        graceful_close(&mut stream, &mut wire, &mut buf);
+                        let object = session
+                            .reassemble()
+                            .ok_or(ServeError::Corrupt("reassembly failed after completion"))?;
+                        if object.len() as u64 != expected.object_len {
+                            return Err(ServeError::Corrupt("reassembled length != manifest"));
+                        }
+                        return Ok(FetchReport {
+                            object,
+                            manifest: expected,
+                            wire,
+                            elapsed: started.elapsed(),
+                        });
+                    }
+                }
+                // Nothing else is meaningful client-side; tolerate rather
+                // than tear down (e.g. a future server announcing kinds).
+                Message::Request | Message::Feedback { .. } | Message::Complete => {}
+            }
+        }
+    }
+}
+
+/// Graceful termination after the final `COMPLETE`: half-close the write
+/// side and drain whatever the server still has in flight until it closes
+/// its end. Closing abruptly instead would RST the connection and could
+/// discard the server's unread `COMPLETE`, losing it from the server's
+/// session accounting. Best-effort with a bounded wait — the object is
+/// already decoded at this point.
+fn graceful_close(stream: &mut TcpStream, wire: &mut WireCounters, buf: &mut [u8]) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let deadline = Instant::now() + Duration::from_millis(500);
+    while Instant::now() < deadline {
+        match stream.read(buf) {
+            Ok(0) => break,
+            Ok(n) => wire.bytes_received += n as u64,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn reply_header(
+    manifest: &ObjectManifest,
+    object_id: u64,
+    kind: MessageKind,
+    generation: u32,
+) -> EnvelopeHeader {
+    EnvelopeHeader { kind, scheme: manifest.params.kind, session: object_id, generation }
+}
+
+fn send(
+    stream: &mut TcpStream,
+    wire: &mut WireCounters,
+    header: &EnvelopeHeader,
+    message: &Message,
+) -> Result<(), ServeError> {
+    let bytes = envelope::encode(header, message);
+    stream.write_all(&bytes)?;
+    wire.datagrams_sent += 1;
+    wire.bytes_sent += bytes.len() as u64;
+    Ok(())
+}

@@ -1,0 +1,87 @@
+use core::fmt;
+use std::io;
+
+use ltnc_net::NetError;
+
+/// Errors of the serving subsystem (server, store and client sides).
+#[derive(Debug)]
+pub enum ServeError {
+    /// A tuning option is outside its validated bounds.
+    InvalidOption {
+        /// Name of the offending option.
+        name: &'static str,
+        /// The rejected value.
+        value: u64,
+        /// Smallest accepted value.
+        min: u64,
+        /// Largest accepted value.
+        max: u64,
+    },
+    /// An object id was registered twice.
+    DuplicateObject(u64),
+    /// Registration with degenerate code dimensions (`k == 0 || m == 0`).
+    BadDimensions {
+        /// Requested code length `k`.
+        code_length: usize,
+        /// Requested payload size `m`.
+        payload_size: usize,
+    },
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The byte stream stopped framing as envelopes.
+    Protocol(NetError),
+    /// The server refused to serve the requested object/scheme.
+    Rejected,
+    /// The peer closed the connection before the session finished.
+    Disconnected,
+    /// The peer sent a well-formed envelope the session state machine did
+    /// not expect (e.g. a payload with no pending transfer).
+    UnexpectedMessage(&'static str),
+    /// The fetch did not finish within the client's deadline.
+    TimedOut,
+    /// The decoded object failed verification against the manifest.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidOption { name, value, min, max } => {
+                write!(f, "option {name} = {value} outside validated bounds [{min}, {max}]")
+            }
+            ServeError::DuplicateObject(id) => write!(f, "object {id:#x} already registered"),
+            ServeError::BadDimensions { code_length, payload_size } => {
+                write!(f, "degenerate code dimensions k = {code_length}, m = {payload_size}")
+            }
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ServeError::Rejected => write!(f, "server rejected the request"),
+            ServeError::Disconnected => write!(f, "peer disconnected mid-session"),
+            ServeError::UnexpectedMessage(what) => write!(f, "unexpected message: {what}"),
+            ServeError::TimedOut => write!(f, "session deadline exceeded"),
+            ServeError::Corrupt(what) => write!(f, "reassembled object failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<NetError> for ServeError {
+    fn from(e: NetError) -> Self {
+        ServeError::Protocol(e)
+    }
+}

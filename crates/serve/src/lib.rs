@@ -1,0 +1,41 @@
+//! TCP edge-cache serving of rateless-coded objects.
+//!
+//! The UDP layer (`ltnc-net`) gossips an object through a swarm of peers.
+//! This crate covers the complementary workload of *Caching at the Edge
+//! with LT codes*: one warm cache serving many concurrent, short-lived
+//! client sessions over TCP, each pulling one object coded with any
+//! [`ltnc_scheme::Scheme`]. Three layers:
+//!
+//! * the **stream binding** reuses the sans-io envelope codec of
+//!   `ltnc-net` over TCP via [`ltnc_net::stream::FrameReassembler`] — the
+//!   wire protocol (including the `DATA-HEADER` → `ACCEPT`/`ABORT` →
+//!   `DATA-PAYLOAD` handshake) is byte-identical to the datagram path,
+//!   plus the `REQUEST`/`MANIFEST`/`REJECT` handshake that opens a
+//!   serving session;
+//! * the [`store`] keeps registered objects chunked into generations
+//!   (shared with UDP via `ltnc-session`) behind a bounded **warm cache**
+//!   of pre-encoded symbols per generation, so a popular object is
+//!   encoded once and *served* many times (capacity-evicted,
+//!   hit/miss-counted);
+//! * the [`server`] runs a thread-pooled accept loop with per-connection
+//!   session state machines and graceful shutdown, and the [`client`]
+//!   fetches an object by id and verifies bit-exact reassembly.
+//!
+//! The structure is runtime-agnostic on purpose (blocking I/O behind
+//! small state machines, like `PeerNode`): porting to an async runtime
+//! changes the outer loops, not the protocol or the store.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod error;
+pub mod options;
+pub mod server;
+pub mod store;
+
+pub use client::{fetch, ClientOptions, FetchReport};
+pub use error::ServeError;
+pub use options::ServeOptions;
+pub use server::Server;
+pub use store::ObjectStore;

@@ -1,0 +1,136 @@
+//! Validated tuning options of the serving subsystem.
+
+use std::time::Duration;
+
+use crate::ServeError;
+
+/// Tuning knobs of a [`crate::Server`], in the style of
+/// `ltnc_net::SwarmConfig` / `NodeOptions` — but *validated*: a zero or
+/// absurd value is an error at spawn time, never a panic or a silent
+/// hang deep inside a session.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Pre-encoded symbols the warm cache keeps per hot generation.
+    /// Should comfortably exceed the code length `k` of the objects
+    /// served, so one cache pass can complete a typical client.
+    pub warm_cache_capacity: usize,
+    /// Transfer offers a session keeps awaiting feedback at once (the
+    /// pipelining depth of the header-first handshake over TCP).
+    pub per_session_inflight: usize,
+    /// Worker threads consuming accepted connections.
+    pub workers: usize,
+    /// Accepted connections that may queue for a free worker before the
+    /// accept loop starts refusing new ones.
+    pub accept_backlog: usize,
+    /// Socket read timeout: the cadence at which blocked sessions notice
+    /// shutdown and pump fresh offers.
+    pub read_timeout: Duration,
+    /// A session with no inbound bytes for this long is dropped, so idle
+    /// connections cannot pin worker threads indefinitely.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            warm_cache_capacity: 256,
+            per_session_inflight: 8,
+            workers: 4,
+            accept_backlog: 64,
+            read_timeout: Duration::from_millis(5),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Bounds accepted by [`ServeOptions::validate`]. Public so operators can
+/// surface them in their own configuration errors.
+pub mod bounds {
+    /// Maximum warm-cache capacity per generation (symbols).
+    pub const MAX_CACHE_CAPACITY: usize = 1 << 20;
+    /// Maximum per-session in-flight budget.
+    pub const MAX_INFLIGHT: usize = 4096;
+    /// Maximum worker threads.
+    pub const MAX_WORKERS: usize = 1024;
+    /// Maximum queued-connection backlog.
+    pub const MAX_BACKLOG: usize = 1 << 16;
+    /// Maximum read timeout in milliseconds (a larger value would make
+    /// shutdown and offer pumping pathologically slow).
+    pub const MAX_READ_TIMEOUT_MS: u64 = 10_000;
+    /// Maximum idle timeout in milliseconds.
+    pub const MAX_IDLE_TIMEOUT_MS: u64 = 3_600_000;
+}
+
+impl ServeOptions {
+    /// Checks every knob against its bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidOption`] naming the first offending knob.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let checks: [(&'static str, u64, u64, u64); 6] = [
+            (
+                "warm_cache_capacity",
+                self.warm_cache_capacity as u64,
+                1,
+                bounds::MAX_CACHE_CAPACITY as u64,
+            ),
+            (
+                "per_session_inflight",
+                self.per_session_inflight as u64,
+                1,
+                bounds::MAX_INFLIGHT as u64,
+            ),
+            ("workers", self.workers as u64, 1, bounds::MAX_WORKERS as u64),
+            ("accept_backlog", self.accept_backlog as u64, 1, bounds::MAX_BACKLOG as u64),
+            (
+                "read_timeout_ms",
+                self.read_timeout.as_millis() as u64,
+                1,
+                bounds::MAX_READ_TIMEOUT_MS,
+            ),
+            (
+                "idle_timeout_ms",
+                self.idle_timeout.as_millis() as u64,
+                1,
+                bounds::MAX_IDLE_TIMEOUT_MS,
+            ),
+        ];
+        for (name, value, min, max) in checks {
+            if value < min || value > max {
+                return Err(ServeError::InvalidOption { name, value, min, max });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ServeOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_and_absurd_values_are_errors_not_panics() {
+        let cases: [ServeOptions; 5] = [
+            ServeOptions { warm_cache_capacity: 0, ..ServeOptions::default() },
+            ServeOptions { per_session_inflight: 0, ..ServeOptions::default() },
+            ServeOptions { workers: 0, ..ServeOptions::default() },
+            ServeOptions {
+                warm_cache_capacity: bounds::MAX_CACHE_CAPACITY + 1,
+                ..ServeOptions::default()
+            },
+            ServeOptions { read_timeout: Duration::from_secs(3600), ..ServeOptions::default() },
+        ];
+        for options in cases {
+            match options.validate() {
+                Err(ServeError::InvalidOption { .. }) => {}
+                other => panic!("expected InvalidOption, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! The TCP content server: thread-pooled accept loop, per-connection
+//! session state machines, graceful shutdown.
+//!
+//! Concurrency model (deliberately the same shape as `ltnc_net`'s
+//! `PeerNode`, and async-ready for the same reason): blocking sockets
+//! with short read timeouts behind small state machines, no runtime. One
+//! accept thread hands connections to a fixed pool of worker threads
+//! through a bounded queue — a full queue *refuses* the connection
+//! instead of buffering without bound, the serving-side analogue of the
+//! peer actor's inbound backpressure.
+//!
+//! A session speaks the envelope protocol over the stream binding:
+//!
+//! ```text
+//! client                                server
+//!   REQUEST (object id, scheme)  ──▶
+//!        ◀──  MANIFEST (len, k, m)          — or REJECT
+//!        ◀──  DATA-HEADER (offer)           — warm-cache symbol
+//!   FEEDBACK-ACCEPT / ABORT      ──▶
+//!        ◀──  DATA-PAYLOAD                  — accepted offers only
+//!   COMPLETE (generation)        ──▶        — prunes that generation
+//!   COMPLETE (object)            ──▶        — ends the session
+//! ```
+//!
+//! Offers are pipelined up to the per-session in-flight budget so the
+//! header-first handshake does not serialize on round trips.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use ltnc_gf2::EncodedPacket;
+use ltnc_metrics::ServeCounters;
+use ltnc_net::envelope::{self, EnvelopeHeader, Message, MessageKind, GENERATION_OBJECT};
+use ltnc_net::stream::FrameReassembler;
+use ltnc_scheme::SchemeParams;
+use ltnc_session::generation::ObjectManifest;
+
+use crate::store::ObjectStore;
+use crate::{ServeError, ServeOptions};
+
+/// Atomic mirror of the session-level [`ServeCounters`] fields, shared by
+/// every worker. Cache counters live in the store and are merged into
+/// snapshots.
+#[derive(Default)]
+struct ServeStats {
+    sessions_accepted: AtomicU64,
+    sessions_rejected: AtomicU64,
+    sessions_completed: AtomicU64,
+    bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+    transfers_offered: AtomicU64,
+    transfers_aborted: AtomicU64,
+    transfers_delivered: AtomicU64,
+}
+
+/// Handle to a running edge-cache server.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    store: Arc<ObjectStore>,
+    stats: Arc<ServeStats>,
+}
+
+impl Server {
+    /// Binds a TCP listener on `bind` (port 0 for ephemeral) and spawns
+    /// the accept loop plus `options.workers` session workers. Objects
+    /// can be [`Server::register`]ed before or after spawning.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidOption`] for out-of-bounds options,
+    /// [`ServeError::Io`] for socket failures.
+    pub fn spawn(bind: SocketAddr, options: ServeOptions) -> Result<Server, ServeError> {
+        options.validate()?;
+        let store = Arc::new(ObjectStore::new(options.warm_cache_capacity)?);
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServeStats::default());
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(options.accept_backlog);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let workers = (0..options.workers)
+            .map(|_| {
+                let conn_rx = Arc::clone(&conn_rx);
+                let store = Arc::clone(&store);
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || worker_loop(&conn_rx, &store, &stats, &stop, options))
+            })
+            .collect();
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            thread::spawn(move || accept_loop(&listener, &conn_tx, &stats, &stop))
+        };
+
+        Ok(Server { local_addr, stop, accept_thread, workers, store, stats })
+    }
+
+    /// The address clients connect to.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Registers an object for serving under `id`. Live: sessions opened
+    /// after this call can fetch it immediately.
+    ///
+    /// # Errors
+    ///
+    /// See [`ObjectStore::register`].
+    pub fn register(
+        &self,
+        id: u64,
+        object: &[u8],
+        params: SchemeParams,
+    ) -> Result<ObjectManifest, ServeError> {
+        self.store.register(id, object, params)
+    }
+
+    /// Snapshot of the server's counters (sessions, wire bytes, feedback
+    /// outcomes, warm-cache hits/misses).
+    #[must_use]
+    pub fn counters(&self) -> ServeCounters {
+        snapshot(&self.store, &self.stats)
+    }
+
+    /// Graceful shutdown: stops accepting, lets workers notice within one
+    /// read timeout, joins every thread and returns the final counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal thread panicked.
+    #[must_use]
+    pub fn shutdown(self) -> ServeCounters {
+        let Server { local_addr: _, stop, accept_thread, workers, store, stats } = self;
+        stop.store(true, Ordering::Release);
+        // Joining the accept thread drops the connection sender, which
+        // unblocks any worker idling in recv_timeout.
+        accept_thread.join().expect("accept thread panicked");
+        for worker in workers {
+            worker.join().expect("worker thread panicked");
+        }
+        snapshot(&store, &stats)
+    }
+}
+
+fn snapshot(store: &ObjectStore, stats: &ServeStats) -> ServeCounters {
+    let cache = store.cache_stats();
+    ServeCounters {
+        sessions_accepted: stats.sessions_accepted.load(Ordering::Relaxed),
+        sessions_rejected: stats.sessions_rejected.load(Ordering::Relaxed),
+        sessions_completed: stats.sessions_completed.load(Ordering::Relaxed),
+        bytes_out: stats.bytes_out.load(Ordering::Relaxed),
+        bytes_in: stats.bytes_in.load(Ordering::Relaxed),
+        transfers_offered: stats.transfers_offered.load(Ordering::Relaxed),
+        transfers_aborted: stats.transfers_aborted.load(Ordering::Relaxed),
+        transfers_delivered: stats.transfers_delivered.load(Ordering::Relaxed),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: &SyncSender<TcpStream>,
+    stats: &ServeStats,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => match conn_tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(refused)) => {
+                    // Bounded handoff: at capacity the connection is
+                    // refused outright (dropping closes it) and counted,
+                    // instead of queueing without bound.
+                    stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                    drop(refused);
+                }
+                Err(TrySendError::Disconnected(_)) => return,
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept failures (per-connection resets) must
+                // not kill the listener.
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    conn_rx: &Mutex<Receiver<TcpStream>>,
+    store: &Arc<ObjectStore>,
+    stats: &ServeStats,
+    stop: &AtomicBool,
+    options: ServeOptions,
+) {
+    loop {
+        // Hold the lock only for the dequeue; recv_timeout returns
+        // immediately when a connection is queued, and the timeout bounds
+        // how long an idle worker keeps the other idles waiting.
+        let next = {
+            let rx = conn_rx.lock().expect("connection queue lock poisoned");
+            rx.recv_timeout(Duration::from_millis(50))
+        };
+        match next {
+            Ok(stream) => {
+                // A broken individual connection must not take the worker
+                // down; the error already ended that session.
+                let _ = serve_connection(stream, store, stats, stop, options);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Server side of one client session.
+struct Session {
+    object_id: u64,
+    manifest: ObjectManifest,
+    /// Warm-cache cursor per generation (next sequence number to offer).
+    cursors: Vec<u64>,
+    /// Generations the client declared complete.
+    done: Vec<bool>,
+    done_count: usize,
+    /// Round-robin pointer over generations for offer scheduling.
+    next_gen: usize,
+    /// Offers awaiting feedback: transfer id → (generation, packet).
+    pending: HashMap<u64, (u32, EncodedPacket)>,
+    next_transfer: u64,
+}
+
+impl Session {
+    fn new(object_id: u64, manifest: ObjectManifest) -> Session {
+        let generations = manifest.generation_count() as usize;
+        Session {
+            object_id,
+            manifest,
+            cursors: vec![0; generations],
+            done: vec![false; generations],
+            done_count: 0,
+            next_gen: 0,
+            pending: HashMap::new(),
+            next_transfer: 1,
+        }
+    }
+
+    fn header(&self, kind: MessageKind, generation: u32) -> EnvelopeHeader {
+        EnvelopeHeader {
+            kind,
+            scheme: self.manifest.params.kind,
+            session: self.object_id,
+            generation,
+        }
+    }
+
+    fn mark_done(&mut self, generation: u32) {
+        if let Some(done) = self.done.get_mut(generation as usize) {
+            if !*done {
+                *done = true;
+                self.done_count += 1;
+            }
+        }
+    }
+}
+
+/// Per-connection wire plumbing: the socket, the reassembler and the
+/// byte counters, so session logic sends frames without repeating the
+/// accounting.
+struct Connection<'a> {
+    stream: TcpStream,
+    reassembler: FrameReassembler,
+    stats: &'a ServeStats,
+}
+
+impl Connection<'_> {
+    fn send(&mut self, header: &EnvelopeHeader, message: &Message) -> Result<(), ServeError> {
+        let bytes = envelope::encode(header, message);
+        self.stream.write_all(&bytes)?;
+        self.stats.bytes_out.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// How long a session keeps draining after shutdown is requested, so a
+/// final `COMPLETE` already in flight still lands in the counters while a
+/// hung client cannot stall shutdown.
+const SHUTDOWN_GRACE: Duration = Duration::from_millis(200);
+
+fn serve_connection(
+    stream: TcpStream,
+    store: &Arc<ObjectStore>,
+    stats: &ServeStats,
+    stop: &AtomicBool,
+    options: ServeOptions,
+) -> Result<(), ServeError> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(options.read_timeout))?;
+    let mut conn = Connection { stream, reassembler: FrameReassembler::new(), stats };
+    let mut session: Option<Session> = None;
+    let mut buf = vec![0u8; 16 * 1024];
+    let mut stop_seen: Option<std::time::Instant> = None;
+    let mut last_inbound = std::time::Instant::now();
+
+    loop {
+        if stop.load(Ordering::Acquire) {
+            let seen = stop_seen.get_or_insert_with(std::time::Instant::now);
+            if seen.elapsed() > SHUTDOWN_GRACE {
+                return Ok(());
+            }
+        }
+        match conn.stream.read(&mut buf) {
+            Ok(0) => return Err(ServeError::Disconnected),
+            Ok(n) => {
+                stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                conn.reassembler.extend(&buf[..n]);
+                last_inbound = std::time::Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // A silent client must not pin this worker forever: with
+                // `workers` such sockets the whole pool would starve.
+                if last_inbound.elapsed() > options.idle_timeout {
+                    return Err(ServeError::TimedOut);
+                }
+            }
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+
+        while let Some(frame) = conn.reassembler.next_frame()? {
+            if handle_frame(&frame.header, frame.message, &mut session, &mut conn, store, stats)? {
+                return Ok(()); // session finished cleanly
+            }
+        }
+
+        if let Some(session) = session.as_mut() {
+            pump_offers(session, &mut conn, store, stats, options.per_session_inflight)?;
+        }
+    }
+}
+
+/// Applies one inbound frame to the session. Returns `Ok(true)` when the
+/// session is over and the connection should close.
+fn handle_frame(
+    header: &EnvelopeHeader,
+    message: Message,
+    session: &mut Option<Session>,
+    conn: &mut Connection<'_>,
+    store: &Arc<ObjectStore>,
+    stats: &ServeStats,
+) -> Result<bool, ServeError> {
+    match message {
+        Message::Request => {
+            if session.is_some() {
+                return Err(ServeError::UnexpectedMessage("second REQUEST on one session"));
+            }
+            let object_id = header.session;
+            let manifest =
+                store.manifest(object_id).filter(|manifest| manifest.params.kind == header.scheme);
+            let Some(manifest) = manifest else {
+                stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                let reject = EnvelopeHeader {
+                    kind: MessageKind::Reject,
+                    scheme: header.scheme,
+                    session: object_id,
+                    generation: GENERATION_OBJECT,
+                };
+                conn.send(&reject, &Message::Reject)?;
+                return Ok(true);
+            };
+            stats.sessions_accepted.fetch_add(1, Ordering::Relaxed);
+            let new = Session::new(object_id, manifest);
+            conn.send(
+                &new.header(MessageKind::Manifest, GENERATION_OBJECT),
+                &Message::Manifest {
+                    object_len: manifest.object_len,
+                    code_length: manifest.params.code_length as u32,
+                    payload_size: manifest.params.payload_size as u32,
+                },
+            )?;
+            *session = Some(new);
+            Ok(false)
+        }
+        Message::Feedback { transfer, accept } => {
+            let Some(session) = session.as_mut() else {
+                return Err(ServeError::UnexpectedMessage("FEEDBACK before REQUEST"));
+            };
+            let Some((generation, packet)) = session.pending.remove(&transfer) else {
+                return Ok(false); // feedback for an offer we no longer track
+            };
+            if accept {
+                stats.transfers_delivered.fetch_add(1, Ordering::Relaxed);
+                let header = session.header(MessageKind::DataPayload, generation);
+                conn.send(&header, &Message::DataPayload { transfer, packet })?;
+            } else {
+                stats.transfers_aborted.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(false)
+        }
+        Message::Complete => {
+            let Some(session) = session.as_mut() else {
+                return Err(ServeError::UnexpectedMessage("COMPLETE before REQUEST"));
+            };
+            if header.generation == GENERATION_OBJECT {
+                stats.sessions_completed.fetch_add(1, Ordering::Relaxed);
+                return Ok(true);
+            }
+            session.mark_done(header.generation);
+            Ok(false)
+        }
+        // A server never receives the server-side kinds or data frames.
+        Message::Manifest { .. } | Message::Reject => {
+            Err(ServeError::UnexpectedMessage("server-side kind from a client"))
+        }
+        Message::DataHeader { .. } | Message::DataPayload { .. } => {
+            Err(ServeError::UnexpectedMessage("data frame from a client"))
+        }
+    }
+}
+
+/// Keeps the pipeline of header-first offers full, round-robin over the
+/// generations the client still needs.
+fn pump_offers(
+    session: &mut Session,
+    conn: &mut Connection<'_>,
+    store: &Arc<ObjectStore>,
+    stats: &ServeStats,
+    inflight_budget: usize,
+) -> Result<(), ServeError> {
+    let generations = session.cursors.len();
+    while session.pending.len() < inflight_budget && session.done_count < generations {
+        // Next incomplete generation, round robin.
+        let mut picked = None;
+        for step in 0..generations {
+            let gen_index = (session.next_gen + step) % generations;
+            if !session.done[gen_index] {
+                picked = Some(gen_index);
+                session.next_gen = (gen_index + 1) % generations;
+                break;
+            }
+        }
+        let Some(gen_index) = picked else { return Ok(()) };
+        let Some((seq, packet)) =
+            store.symbol(session.object_id, gen_index as u32, session.cursors[gen_index])
+        else {
+            // The encoder refused (cannot happen for a source node, but a
+            // spinning offer loop must not depend on that).
+            session.mark_done(gen_index as u32);
+            continue;
+        };
+        session.cursors[gen_index] = seq + 1;
+        let transfer = session.next_transfer;
+        session.next_transfer += 1;
+        stats.transfers_offered.fetch_add(1, Ordering::Relaxed);
+        let header = session.header(MessageKind::DataHeader, gen_index as u32);
+        let offer = Message::DataHeader {
+            transfer,
+            payload_size: packet.payload_size(),
+            vector: packet.vector().clone(),
+        };
+        session.pending.insert(transfer, (gen_index as u32, packet));
+        conn.send(&header, &offer)?;
+    }
+    Ok(())
+}

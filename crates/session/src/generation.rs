@@ -42,11 +42,22 @@ impl ObjectManifest {
     }
 
     /// Number of generations the object spans (at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate manifest (`k × m = 0`) or one whose object
+    /// length implies more than `u32::MAX` generations (the wire addresses
+    /// generations with a `u32`; truncating silently would make such an
+    /// object appear complete with nothing received). Manifests received
+    /// from untrusted peers must be bounds-checked before use — the serve
+    /// client caps the implied generation count at a far smaller limit.
     #[must_use]
     pub fn generation_count(&self) -> u32 {
         let per_gen = self.generation_bytes() as u64;
         assert!(per_gen > 0, "degenerate manifest: k × m = 0");
-        (self.object_len.div_ceil(per_gen).max(1)) as u32
+        let count = self.object_len.div_ceil(per_gen).max(1);
+        assert!(count <= u64::from(u32::MAX), "object spans more generations than u32 addresses");
+        count as u32
     }
 }
 
