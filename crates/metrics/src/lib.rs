@@ -31,6 +31,7 @@ mod counters;
 mod histogram;
 mod series;
 mod serve;
+mod stripe;
 mod summary;
 mod wire;
 
@@ -39,5 +40,6 @@ pub use counters::{OpCounters, OpKind};
 pub use histogram::Histogram;
 pub use series::TimeSeries;
 pub use serve::ServeCounters;
+pub use stripe::{ReplicaCounters, StripeCounters};
 pub use summary::Summary;
 pub use wire::WireCounters;

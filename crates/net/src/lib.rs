@@ -23,6 +23,11 @@
 //!   [`stream::FrameReassembler`] that turns arbitrarily chunked TCP
 //!   reads back into complete envelopes via [`envelope::required_len`],
 //!   tolerant of hostile input;
+//! * [`faults`] — seeded, deterministic fault injection
+//!   ([`faults::FaultyStream`] over any `Read + Write`, plus a TCP
+//!   [`faults::FaultProxy`]): drops, delays, truncation and
+//!   disconnect-at-byte-K, so every transport test can run under adverse
+//!   conditions reproducibly;
 //! * [`peer`] — the [`peer::PeerNode`] actor: bounded-queue backpressure,
 //!   per-peer in-flight budgets, the aggressiveness gate for relays, and
 //!   graceful shutdown with full wire-level accounting
@@ -49,6 +54,7 @@
 
 pub mod envelope;
 mod error;
+pub mod faults;
 pub mod peer;
 pub mod stream;
 pub mod swarm;
@@ -60,6 +66,7 @@ pub use ltnc_session::generation;
 
 pub use envelope::{Envelope, EnvelopeHeader, Message, MessageKind};
 pub use error::NetError;
+pub use faults::{FaultPlan, FaultProxy, FaultyStream};
 pub use ltnc_session::{split_object, ObjectManifest, ReceiverSession, SourceSession};
 pub use peer::{NodeConfig, NodeOptions, NodeRole, PeerNode, PeerReport};
 pub use stream::FrameReassembler;

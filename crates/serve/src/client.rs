@@ -1,21 +1,39 @@
-//! The client side of a serving session: fetch one object by id over TCP
-//! and verify bit-exact reassembly.
+//! The client side of a serving session, built around a reusable
+//! **per-generation fetch primitive**.
 //!
-//! A client is deliberately cheap — one blocking socket, one
-//! [`FrameReassembler`], one [`ReceiverSession`] — because the serving
-//! workload is *many short-lived clients*: the cache_serving example and
-//! the integration tests run dozens of these concurrently against one
-//! server.
+//! A connection to one server is a [`ReplicaConn`]: open it with
+//! [`ReplicaConn::open`] (REQUEST → MANIFEST handshake), then pull any
+//! *subset* of the object's generations with
+//! [`ReplicaConn::fetch_generations`], which merges symbols into a shared
+//! [`SharedReceiver`]. The plain [`fetch`] is the degenerate case — one
+//! connection leasing every generation into a private receiver — and the
+//! striped client ([`crate::striped`]) is N connections leasing disjoint
+//! subsets into one shared receiver.
+//!
+//! The primitive steers the server without any protocol extension: the
+//! per-generation `COMPLETE` message that normally prunes a finished
+//! generation from the server's offer schedule is simply sent *up front*
+//! for every generation outside the lease, so the server spends its whole
+//! in-flight budget on the generations this stream is responsible for.
+//!
+//! Every stream also keeps a **progress watermark**: the last instant a
+//! delivery advanced the merged decoder's rank. A stream whose watermark
+//! sits still for [`ClientOptions::stall_timeout`] fails with
+//! [`ServeError::ReplicaLagged`] instead of blocking until the global
+//! deadline — the signal the striped client uses to re-lease a slow or
+//! dead replica's generations to the survivors.
 
+use std::collections::HashSet;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-use ltnc_metrics::WireCounters;
+use ltnc_metrics::{ReplicaCounters, WireCounters};
 use ltnc_net::envelope::{self, EnvelopeHeader, Message, MessageKind, GENERATION_OBJECT};
 use ltnc_net::stream::FrameReassembler;
 use ltnc_scheme::{SchemeKind, SchemeParams};
-use ltnc_session::generation::{ObjectManifest, ReceiverSession};
+use ltnc_session::generation::ObjectManifest;
+use ltnc_session::SharedReceiver;
 
 use crate::ServeError;
 
@@ -32,11 +50,22 @@ pub struct ClientOptions {
     pub timeout: Duration,
     /// TCP connect deadline.
     pub connect_timeout: Duration,
+    /// Per-stream progress watermark: a connection that goes this long
+    /// without a rank-advancing delivery (or, before the handshake
+    /// finishes, without a `MANIFEST`) fails with
+    /// [`ServeError::ReplicaLagged`]. Should be well below `timeout` so a
+    /// stalled replica is detected while there is still time to fail
+    /// over.
+    pub stall_timeout: Duration,
 }
 
 impl Default for ClientOptions {
     fn default() -> Self {
-        ClientOptions { timeout: Duration::from_secs(30), connect_timeout: Duration::from_secs(5) }
+        ClientOptions {
+            timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(5),
+            stall_timeout: Duration::from_secs(10),
+        }
     }
 }
 
@@ -55,16 +84,322 @@ pub struct FetchReport {
     pub elapsed: Duration,
 }
 
+/// One open serving session to one server, with its framing state and
+/// accounting. Obtained from [`ReplicaConn::open`]; drives the data plane
+/// through [`ReplicaConn::fetch_generations`].
+pub struct ReplicaConn {
+    stream: TcpStream,
+    reassembler: FrameReassembler,
+    wire: WireCounters,
+    stripe: ReplicaCounters,
+    manifest: ObjectManifest,
+    object_id: u64,
+}
+
+impl ReplicaConn {
+    /// Connects to `addr`, requests `object_id` under `scheme` and waits
+    /// for the server's `MANIFEST`. On success the connection is ready to
+    /// fetch generations; the returned manifest is what every replica of
+    /// a striped fetch must agree on.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] when the server refuses the
+    /// object/scheme, [`ServeError::ReplicaLagged`] when the server goes
+    /// silent before the manifest, [`ServeError::Corrupt`] for hostile
+    /// manifests, plus transport and protocol errors.
+    pub fn open(
+        addr: SocketAddr,
+        object_id: u64,
+        scheme: SchemeKind,
+        options: &ClientOptions,
+    ) -> Result<(ReplicaConn, ObjectManifest), ServeError> {
+        let stream = TcpStream::connect_timeout(&addr, options.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(5)))?;
+        let mut conn = ReplicaConn {
+            stream,
+            reassembler: FrameReassembler::new(),
+            wire: WireCounters::new(),
+            stripe: ReplicaCounters::default(),
+            // Placeholder until the real manifest arrives below.
+            manifest: ObjectManifest { object_len: 0, params: SchemeParams::new(scheme, 1, 1) },
+            object_id,
+        };
+
+        let request = EnvelopeHeader {
+            kind: MessageKind::Request,
+            scheme,
+            session: object_id,
+            generation: GENERATION_OBJECT,
+        };
+        conn.send(&request, &Message::Request)?;
+
+        // A server that accepts but never answers the handshake is a
+        // stall (watermark never moved); an overall deadline shorter than
+        // the stall window is just the deadline.
+        let wait = options.timeout.min(options.stall_timeout);
+        let deadline = Instant::now() + wait;
+        let mut buf = vec![0u8; 16 * 1024];
+        loop {
+            if Instant::now() > deadline {
+                return Err(if options.timeout <= options.stall_timeout {
+                    ServeError::TimedOut
+                } else {
+                    ServeError::ReplicaLagged { stalled_for: wait }
+                });
+            }
+            conn.pump_inbound(&mut buf)?;
+            while let Some(frame) = conn.reassembler.next_frame()? {
+                conn.wire.datagrams_received += 1;
+                match frame.message {
+                    Message::Reject => return Err(ServeError::Rejected),
+                    Message::Manifest { object_len, code_length, payload_size } => {
+                        let manifest =
+                            validate_manifest(scheme, object_len, code_length, payload_size)?;
+                        conn.manifest = manifest;
+                        return Ok((conn, manifest));
+                    }
+                    Message::DataHeader { .. } | Message::DataPayload { .. } => {
+                        return Err(ServeError::UnexpectedMessage("data frame before MANIFEST"));
+                    }
+                    // Harmless kinds a future server might emit pre-manifest.
+                    Message::Request | Message::Feedback { .. } | Message::Complete => {}
+                }
+            }
+        }
+    }
+
+    /// The manifest this connection's server declared.
+    #[must_use]
+    pub fn manifest(&self) -> &ObjectManifest {
+        &self.manifest
+    }
+
+    /// Per-stream striping counters accumulated so far (valid after an
+    /// error too — a failed stream's partial work still happened).
+    #[must_use]
+    pub fn replica_counters(&self) -> ReplicaCounters {
+        let mut stripe = self.stripe;
+        stripe.bytes_in = self.wire.bytes_received;
+        stripe.bytes_out = self.wire.bytes_sent;
+        stripe
+    }
+
+    /// Wire-level accounting for this connection.
+    #[must_use]
+    pub fn wire_counters(&self) -> WireCounters {
+        self.wire
+    }
+
+    /// The per-generation fetch primitive: pulls the generations in
+    /// `lease` from this server into the shared `receiver`, discarding
+    /// duplicate-rank symbols, until every leased generation has decoded
+    /// (wherever its finishing symbol came from). Generations outside the
+    /// lease are `COMPLETE`d up front so the server never spends offer
+    /// budget on them.
+    ///
+    /// Returns the stream's [`ReplicaCounters`]. The connection is
+    /// consumed by a clean finish in the sense that the session is closed
+    /// gracefully; calling it again offers nothing new.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ReplicaLagged`] when the progress watermark stalls,
+    /// [`ServeError::TimedOut`] past the deadline,
+    /// [`ServeError::Disconnected`] when the server drops the connection,
+    /// plus transport and protocol errors. On error the counters so far
+    /// remain readable via [`ReplicaConn::replica_counters`].
+    pub fn fetch_generations(
+        &mut self,
+        lease: &[u32],
+        receiver: &SharedReceiver,
+        options: &ClientOptions,
+    ) -> Result<ReplicaCounters, ServeError> {
+        if receiver.manifest() != &self.manifest {
+            return Err(ServeError::Corrupt("replicas disagree on the object manifest"));
+        }
+        let generations = self.manifest.generation_count();
+        let lease: HashSet<u32> = lease.iter().copied().filter(|&g| g < generations).collect();
+        let lease_list: Vec<u32> = lease.iter().copied().collect();
+        let deadline = Instant::now() + options.timeout;
+
+        // Steering: prune everything outside the lease (and anything
+        // already complete) from this server's offer schedule.
+        let mut completed_sent = vec![false; generations as usize];
+        for gen_index in 0..generations {
+            if !lease.contains(&gen_index) || receiver.generation_complete(gen_index) {
+                self.send_complete(gen_index)?;
+                completed_sent[gen_index as usize] = true;
+            }
+        }
+
+        let mut watermark = Instant::now();
+        let mut buf = vec![0u8; 16 * 1024];
+        loop {
+            // Another stream may have finished one of our generations;
+            // prune it here and re-check the exit condition.
+            for &gen_index in &lease_list {
+                if receiver.generation_complete(gen_index) && !completed_sent[gen_index as usize] {
+                    self.send_complete(gen_index)?;
+                    completed_sent[gen_index as usize] = true;
+                }
+            }
+            if receiver.generations_complete(&lease_list) {
+                self.finish(&mut buf)?;
+                return Ok(self.replica_counters());
+            }
+            if Instant::now() > deadline {
+                return Err(ServeError::TimedOut);
+            }
+            let stalled_for = watermark.elapsed();
+            if stalled_for > options.stall_timeout {
+                return Err(ServeError::ReplicaLagged { stalled_for });
+            }
+
+            self.pump_inbound(&mut buf)?;
+            while let Some(frame) = self.reassembler.next_frame()? {
+                self.wire.datagrams_received += 1;
+                let generation = frame.header.generation;
+                match frame.message {
+                    Message::Reject => return Err(ServeError::Rejected),
+                    Message::Manifest { .. } => {
+                        return Err(ServeError::UnexpectedMessage("second MANIFEST"));
+                    }
+                    Message::DataHeader { transfer, payload_size, vector } => {
+                        self.stripe.offers_seen += 1;
+                        let accept = payload_size == self.manifest.params.payload_size
+                            && lease.contains(&generation)
+                            && receiver.would_accept(generation, &vector);
+                        if !accept {
+                            self.wire.transfers_aborted += 1;
+                            self.stripe.aborted += 1;
+                        }
+                        let kind = if accept {
+                            MessageKind::FeedbackAccept
+                        } else {
+                            MessageKind::FeedbackAbort
+                        };
+                        let header = self.header(kind, generation);
+                        self.send(&header, &Message::Feedback { transfer, accept })?;
+                    }
+                    Message::DataPayload { packet, .. } => {
+                        self.wire.transfers_delivered += 1;
+                        self.stripe.delivered += 1;
+                        let outcome = receiver.deliver(generation, &packet);
+                        if outcome.useful {
+                            self.wire.useful_deliveries += 1;
+                            self.stripe.useful += 1;
+                            watermark = Instant::now();
+                        } else {
+                            self.stripe.duplicates += 1;
+                        }
+                        if outcome.newly_complete {
+                            self.stripe.generations_completed += 1;
+                        }
+                    }
+                    // Nothing else is meaningful client-side; tolerate
+                    // rather than tear down.
+                    Message::Request | Message::Feedback { .. } | Message::Complete => {}
+                }
+            }
+        }
+    }
+
+    /// Clean end of a stream whose lease is complete: announce the
+    /// session is over, then half-close and drain so the server's unread
+    /// feedback still lands in its accounting.
+    fn finish(&mut self, buf: &mut [u8]) -> Result<(), ServeError> {
+        let header = self.header(MessageKind::Complete, GENERATION_OBJECT);
+        self.send(&header, &Message::Complete)?;
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+        let deadline = Instant::now() + Duration::from_millis(250);
+        while Instant::now() < deadline {
+            match self.stream.read(buf) {
+                Ok(0) => break,
+                Ok(n) => self.wire.bytes_received += n as u64,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// One non-blocking-ish socket read into the reassembler.
+    fn pump_inbound(&mut self, buf: &mut [u8]) -> Result<(), ServeError> {
+        match self.stream.read(buf) {
+            Ok(0) => Err(ServeError::Disconnected),
+            Ok(n) => {
+                self.wire.bytes_received += n as u64;
+                self.reassembler.extend(&buf[..n]);
+                Ok(())
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(())
+            }
+            Err(e) => Err(ServeError::Io(e)),
+        }
+    }
+
+    fn send_complete(&mut self, generation: u32) -> Result<(), ServeError> {
+        let header = self.header(MessageKind::Complete, generation);
+        self.send(&header, &Message::Complete)
+    }
+
+    fn header(&self, kind: MessageKind, generation: u32) -> EnvelopeHeader {
+        EnvelopeHeader {
+            kind,
+            scheme: self.manifest.params.kind,
+            session: self.object_id,
+            generation,
+        }
+    }
+
+    fn send(&mut self, header: &EnvelopeHeader, message: &Message) -> Result<(), ServeError> {
+        let bytes = envelope::encode(header, message);
+        self.stream.write_all(&bytes)?;
+        self.wire.datagrams_sent += 1;
+        self.wire.bytes_sent += bytes.len() as u64;
+        Ok(())
+    }
+}
+
+/// Bounds-checks a received manifest and converts it to an
+/// [`ObjectManifest`].
+fn validate_manifest(
+    scheme: SchemeKind,
+    object_len: u64,
+    code_length: u32,
+    payload_size: u32,
+) -> Result<ObjectManifest, ServeError> {
+    if code_length == 0 || payload_size == 0 {
+        return Err(ServeError::Corrupt("degenerate manifest dimensions"));
+    }
+    let generation_bytes = u64::from(code_length) * u64::from(payload_size);
+    if object_len.div_ceil(generation_bytes) > MAX_GENERATIONS {
+        return Err(ServeError::Corrupt("manifest implies too many generations"));
+    }
+    let params = SchemeParams::new(scheme, code_length as usize, payload_size as usize);
+    Ok(ObjectManifest { object_len, params })
+}
+
 /// Fetches object `object_id`, expected to be served under `scheme`, from
 /// the server at `addr`. Blocks until the object reassembles bit-exactly
-/// or the deadline passes.
+/// or the deadline passes. This is the single-server case of the
+/// per-generation primitive: one connection, every generation leased.
 ///
 /// # Errors
 ///
 /// [`ServeError::Rejected`] when the server refuses the object/scheme,
-/// [`ServeError::TimedOut`] past the deadline, [`ServeError::Corrupt`]
-/// when reassembly fails verification, plus transport and protocol
-/// errors.
+/// [`ServeError::TimedOut`] past the deadline,
+/// [`ServeError::ReplicaLagged`] when the server stops making progress,
+/// [`ServeError::Corrupt`] when reassembly fails verification, plus
+/// transport and protocol errors.
 pub fn fetch(
     addr: SocketAddr,
     object_id: u64,
@@ -72,177 +407,21 @@ pub fn fetch(
     options: &ClientOptions,
 ) -> Result<FetchReport, ServeError> {
     let started = Instant::now();
-    let deadline = started + options.timeout;
-    let mut stream = TcpStream::connect_timeout(&addr, options.connect_timeout)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_millis(5)))?;
-
-    let mut wire = WireCounters::new();
-    let mut reassembler = FrameReassembler::new();
-    let mut receiver: Option<ReceiverSession> = None;
-    let mut manifest: Option<ObjectManifest> = None;
-
-    let request = EnvelopeHeader {
-        kind: MessageKind::Request,
-        scheme,
-        session: object_id,
-        generation: GENERATION_OBJECT,
-    };
-    send(&mut stream, &mut wire, &request, &Message::Request)?;
-
-    let mut buf = vec![0u8; 16 * 1024];
-    loop {
-        if Instant::now() > deadline {
-            return Err(ServeError::TimedOut);
-        }
-        match stream.read(&mut buf) {
-            Ok(0) => return Err(ServeError::Disconnected),
-            Ok(n) => {
-                wire.bytes_received += n as u64;
-                reassembler.extend(&buf[..n]);
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(e) => return Err(ServeError::Io(e)),
-        }
-
-        while let Some(frame) = reassembler.next_frame()? {
-            wire.datagrams_received += 1;
-            let generation = frame.header.generation;
-            match frame.message {
-                Message::Reject => return Err(ServeError::Rejected),
-                Message::Manifest { object_len, code_length, payload_size } => {
-                    if receiver.is_some() {
-                        return Err(ServeError::UnexpectedMessage("second MANIFEST"));
-                    }
-                    if code_length == 0 || payload_size == 0 {
-                        return Err(ServeError::Corrupt("degenerate manifest dimensions"));
-                    }
-                    let generation_bytes = u64::from(code_length) * u64::from(payload_size);
-                    if object_len.div_ceil(generation_bytes) > MAX_GENERATIONS {
-                        return Err(ServeError::Corrupt("manifest implies too many generations"));
-                    }
-                    let params =
-                        SchemeParams::new(scheme, code_length as usize, payload_size as usize);
-                    let declared = ObjectManifest { object_len, params };
-                    receiver = Some(ReceiverSession::new(declared));
-                    manifest = Some(declared);
-                }
-                Message::DataHeader { transfer, payload_size, vector } => {
-                    let Some(receiver) = receiver.as_ref() else {
-                        return Err(ServeError::UnexpectedMessage("offer before MANIFEST"));
-                    };
-                    let expected = manifest.expect("manifest set with receiver");
-                    let accept = payload_size == expected.params.payload_size
-                        && receiver.would_accept(generation, &vector);
-                    if !accept {
-                        wire.transfers_aborted += 1;
-                    }
-                    let kind = if accept {
-                        MessageKind::FeedbackAccept
-                    } else {
-                        MessageKind::FeedbackAbort
-                    };
-                    send(
-                        &mut stream,
-                        &mut wire,
-                        &reply_header(&expected, object_id, kind, generation),
-                        &Message::Feedback { transfer, accept },
-                    )?;
-                }
-                Message::DataPayload { packet, .. } => {
-                    let Some(session) = receiver.as_mut() else {
-                        return Err(ServeError::UnexpectedMessage("payload before MANIFEST"));
-                    };
-                    let expected = manifest.expect("manifest set with receiver");
-                    wire.transfers_delivered += 1;
-                    let was_complete = session.generation_complete(generation);
-                    if session.deliver(generation, &packet) {
-                        wire.useful_deliveries += 1;
-                    }
-                    if !was_complete && session.generation_complete(generation) {
-                        send(
-                            &mut stream,
-                            &mut wire,
-                            &reply_header(&expected, object_id, MessageKind::Complete, generation),
-                            &Message::Complete,
-                        )?;
-                    }
-                    if session.is_complete() {
-                        send(
-                            &mut stream,
-                            &mut wire,
-                            &reply_header(
-                                &expected,
-                                object_id,
-                                MessageKind::Complete,
-                                GENERATION_OBJECT,
-                            ),
-                            &Message::Complete,
-                        )?;
-                        graceful_close(&mut stream, &mut wire, &mut buf);
-                        let object = session
-                            .reassemble()
-                            .ok_or(ServeError::Corrupt("reassembly failed after completion"))?;
-                        if object.len() as u64 != expected.object_len {
-                            return Err(ServeError::Corrupt("reassembled length != manifest"));
-                        }
-                        return Ok(FetchReport {
-                            object,
-                            manifest: expected,
-                            wire,
-                            elapsed: started.elapsed(),
-                        });
-                    }
-                }
-                // Nothing else is meaningful client-side; tolerate rather
-                // than tear down (e.g. a future server announcing kinds).
-                Message::Request | Message::Feedback { .. } | Message::Complete => {}
-            }
-        }
+    let (mut conn, manifest) = ReplicaConn::open(addr, object_id, scheme, options)?;
+    let receiver = SharedReceiver::new(manifest);
+    let every_generation: Vec<u32> = (0..manifest.generation_count()).collect();
+    // One deadline covers connect, handshake and data: the data phase
+    // gets whatever the handshake left of the overall budget.
+    let remaining = options.timeout.saturating_sub(started.elapsed());
+    if remaining.is_zero() {
+        return Err(ServeError::TimedOut);
     }
-}
-
-/// Graceful termination after the final `COMPLETE`: half-close the write
-/// side and drain whatever the server still has in flight until it closes
-/// its end. Closing abruptly instead would RST the connection and could
-/// discard the server's unread `COMPLETE`, losing it from the server's
-/// session accounting. Best-effort with a bounded wait — the object is
-/// already decoded at this point.
-fn graceful_close(stream: &mut TcpStream, wire: &mut WireCounters, buf: &mut [u8]) {
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let deadline = Instant::now() + Duration::from_millis(500);
-    while Instant::now() < deadline {
-        match stream.read(buf) {
-            Ok(0) => break,
-            Ok(n) => wire.bytes_received += n as u64,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(_) => break,
-        }
+    let data_options = ClientOptions { timeout: remaining, ..*options };
+    conn.fetch_generations(&every_generation, &receiver, &data_options)?;
+    let object =
+        receiver.reassemble().ok_or(ServeError::Corrupt("reassembly failed after completion"))?;
+    if object.len() as u64 != manifest.object_len {
+        return Err(ServeError::Corrupt("reassembled length != manifest"));
     }
-}
-
-fn reply_header(
-    manifest: &ObjectManifest,
-    object_id: u64,
-    kind: MessageKind,
-    generation: u32,
-) -> EnvelopeHeader {
-    EnvelopeHeader { kind, scheme: manifest.params.kind, session: object_id, generation }
-}
-
-fn send(
-    stream: &mut TcpStream,
-    wire: &mut WireCounters,
-    header: &EnvelopeHeader,
-    message: &Message,
-) -> Result<(), ServeError> {
-    let bytes = envelope::encode(header, message);
-    stream.write_all(&bytes)?;
-    wire.datagrams_sent += 1;
-    wire.bytes_sent += bytes.len() as u64;
-    Ok(())
+    Ok(FetchReport { object, manifest, wire: conn.wire_counters(), elapsed: started.elapsed() })
 }

@@ -1,5 +1,6 @@
 use core::fmt;
 use std::io;
+use std::time::Duration;
 
 use ltnc_net::NetError;
 
@@ -39,6 +40,26 @@ pub enum ServeError {
     UnexpectedMessage(&'static str),
     /// The fetch did not finish within the client's deadline.
     TimedOut,
+    /// The server stopped advancing the client's decoder before the fetch
+    /// finished: the per-stream progress watermark sat still for longer
+    /// than the configured stall timeout. Distinct from [`Self::TimedOut`]
+    /// so a striped client can fail over to another replica immediately
+    /// instead of burning the whole fetch deadline on a stalled one.
+    ReplicaLagged {
+        /// How long the stream went without a rank-advancing delivery.
+        stalled_for: Duration,
+    },
+    /// A striped fetch lost every replica (dead at connect, failed
+    /// mid-stream, or the failover budget ran out) before the object
+    /// completed.
+    AllReplicasFailed {
+        /// Number of replicas the fetch was configured with.
+        replicas: usize,
+        /// The last stream failure observed, so replica misconfiguration
+        /// (wrong scheme, disagreeing manifests) stays distinguishable
+        /// from network death.
+        cause: Option<Box<ServeError>>,
+    },
     /// The decoded object failed verification against the manifest.
     Corrupt(&'static str),
 }
@@ -59,6 +80,16 @@ impl fmt::Display for ServeError {
             ServeError::Disconnected => write!(f, "peer disconnected mid-session"),
             ServeError::UnexpectedMessage(what) => write!(f, "unexpected message: {what}"),
             ServeError::TimedOut => write!(f, "session deadline exceeded"),
+            ServeError::ReplicaLagged { stalled_for } => {
+                write!(f, "replica made no decode progress for {stalled_for:?}")
+            }
+            ServeError::AllReplicasFailed { replicas, cause } => {
+                write!(f, "all {replicas} replicas failed before the object completed")?;
+                if let Some(cause) = cause {
+                    write!(f, " (last error: {cause})")?;
+                }
+                Ok(())
+            }
             ServeError::Corrupt(what) => write!(f, "reassembled object failed: {what}"),
         }
     }
@@ -69,6 +100,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Io(e) => Some(e),
             ServeError::Protocol(e) => Some(e),
+            ServeError::AllReplicasFailed { cause: Some(cause), .. } => Some(&**cause),
             _ => None,
         }
     }

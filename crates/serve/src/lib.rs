@@ -19,7 +19,13 @@
 //!   hit/miss-counted);
 //! * the [`server`] runs a thread-pooled accept loop with per-connection
 //!   session state machines and graceful shutdown, and the [`client`]
-//!   fetches an object by id and verifies bit-exact reassembly.
+//!   fetches an object by id and verifies bit-exact reassembly — built on
+//!   a per-generation fetch primitive ([`client::ReplicaConn`]);
+//! * the [`striped`] client pulls one object from **several replicas at
+//!   once**: generations are lease-partitioned across servers, the
+//!   streams merge into one shared decoder (duplicate rank is discarded —
+//!   rateless union), and a replica that dies or stalls has its
+//!   outstanding leases re-assigned to the survivors.
 //!
 //! The structure is runtime-agnostic on purpose (blocking I/O behind
 //! small state machines, like `PeerNode`): porting to an async runtime
@@ -33,9 +39,11 @@ mod error;
 pub mod options;
 pub mod server;
 pub mod store;
+pub mod striped;
 
-pub use client::{fetch, ClientOptions, FetchReport};
+pub use client::{fetch, ClientOptions, FetchReport, ReplicaConn};
 pub use error::ServeError;
 pub use options::ServeOptions;
 pub use server::Server;
 pub use store::ObjectStore;
+pub use striped::{fetch_striped, StripedOptions, StripedReport};

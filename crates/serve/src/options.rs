@@ -28,6 +28,15 @@ pub struct ServeOptions {
     /// A session with no inbound bytes for this long is dropped, so idle
     /// connections cannot pin worker threads indefinitely.
     pub idle_timeout: Duration,
+    /// Replica identity salt. Replicas of the same object should each run
+    /// with a distinct salt: it seeds the warm store's per-generation
+    /// encoders (so two replicas never produce identical symbol streams)
+    /// and offsets each session's initial warm-ring cursors (so two
+    /// replicas with warm rings don't serve identical prefixes). Striped
+    /// clients rely on this — duplicate-rank symbols across replicas are
+    /// discarded work. `0` (the default) applies no offset, matching the
+    /// single-server behaviour.
+    pub replica_salt: u64,
 }
 
 impl Default for ServeOptions {
@@ -39,6 +48,7 @@ impl Default for ServeOptions {
             accept_backlog: 64,
             read_timeout: Duration::from_millis(5),
             idle_timeout: Duration::from_secs(30),
+            replica_salt: 0,
         }
     }
 }

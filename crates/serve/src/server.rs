@@ -80,7 +80,8 @@ impl Server {
     /// [`ServeError::Io`] for socket failures.
     pub fn spawn(bind: SocketAddr, options: ServeOptions) -> Result<Server, ServeError> {
         options.validate()?;
-        let store = Arc::new(ObjectStore::new(options.warm_cache_capacity)?);
+        let store =
+            Arc::new(ObjectStore::with_salt(options.warm_cache_capacity, options.replica_salt)?);
         let listener = TcpListener::bind(bind)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -252,12 +253,27 @@ struct Session {
 }
 
 impl Session {
-    fn new(object_id: u64, manifest: ObjectManifest) -> Session {
+    fn new(object_id: u64, manifest: ObjectManifest, options: &ServeOptions) -> Session {
         let generations = manifest.generation_count() as usize;
+        // Replica-salted initial cursors: sessions on a salted replica
+        // start partway into each warm ring instead of at its oldest
+        // symbol, so two replicas whose rings are both warm serve
+        // different symbol prefixes to a striped client (the store clamps
+        // and self-heals any offset that outruns the ring).
+        let cursors = (0..generations)
+            .map(|gen_index| {
+                if options.replica_salt == 0 {
+                    0
+                } else {
+                    splitmix64(options.replica_salt ^ (gen_index as u64))
+                        % options.warm_cache_capacity as u64
+                }
+            })
+            .collect();
         Session {
             object_id,
             manifest,
-            cursors: vec![0; generations],
+            cursors,
             done: vec![false; generations],
             done_count: 0,
             next_gen: 0,
@@ -283,6 +299,15 @@ impl Session {
             }
         }
     }
+}
+
+/// SplitMix64 finalizer: spreads a replica salt into per-generation
+/// cursor offsets with no correlation between adjacent generations.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Per-connection wire plumbing: the socket, the reassembler and the
@@ -351,7 +376,15 @@ fn serve_connection(
         }
 
         while let Some(frame) = conn.reassembler.next_frame()? {
-            if handle_frame(&frame.header, frame.message, &mut session, &mut conn, store, stats)? {
+            if handle_frame(
+                &frame.header,
+                frame.message,
+                &mut session,
+                &mut conn,
+                store,
+                stats,
+                &options,
+            )? {
                 return Ok(()); // session finished cleanly
             }
         }
@@ -371,6 +404,7 @@ fn handle_frame(
     conn: &mut Connection<'_>,
     store: &Arc<ObjectStore>,
     stats: &ServeStats,
+    options: &ServeOptions,
 ) -> Result<bool, ServeError> {
     match message {
         Message::Request => {
@@ -392,7 +426,7 @@ fn handle_frame(
                 return Ok(true);
             };
             stats.sessions_accepted.fetch_add(1, Ordering::Relaxed);
-            let new = Session::new(object_id, manifest);
+            let new = Session::new(object_id, manifest, options);
             conn.send(
                 &new.header(MessageKind::Manifest, GENERATION_OBJECT),
                 &Message::Manifest {

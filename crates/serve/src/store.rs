@@ -105,18 +105,32 @@ pub struct CacheStats {
 pub struct ObjectStore {
     objects: RwLock<HashMap<u64, Arc<StoredObject>>>,
     cache_capacity: usize,
+    /// Replica identity salt mixed into every generation encoder's RNG
+    /// seed, so distinct replicas of the same object emit distinct symbol
+    /// streams (see [`crate::ServeOptions::replica_salt`]).
+    salt: u64,
     stats: StoreStats,
 }
 
 impl ObjectStore {
     /// An empty store whose warm rings hold at most `cache_capacity`
-    /// symbols per generation.
+    /// symbols per generation, with the default (salt `0`) replica
+    /// identity.
     ///
     /// # Errors
     ///
     /// [`ServeError::InvalidOption`] when `cache_capacity` is zero or
     /// absurd (see [`crate::options::bounds`]).
     pub fn new(cache_capacity: usize) -> Result<Self, ServeError> {
+        ObjectStore::with_salt(cache_capacity, 0)
+    }
+
+    /// An empty store with an explicit replica identity salt.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ObjectStore::new`].
+    pub fn with_salt(cache_capacity: usize, salt: u64) -> Result<Self, ServeError> {
         let max = crate::options::bounds::MAX_CACHE_CAPACITY;
         if cache_capacity == 0 || cache_capacity > max {
             return Err(ServeError::InvalidOption {
@@ -129,6 +143,7 @@ impl ObjectStore {
         Ok(ObjectStore {
             objects: RwLock::new(HashMap::new()),
             cache_capacity,
+            salt,
             stats: StoreStats::default(),
         })
     }
@@ -167,7 +182,11 @@ impl ObjectStore {
                     node: params.source_node(natives),
                     symbols: VecDeque::new(),
                     base_seq: 0,
-                    rng: SmallRng::seed_from_u64(id ^ ((gen_index as u64) << 32) ^ 0x5EED),
+                    rng: SmallRng::seed_from_u64(
+                        id ^ ((gen_index as u64) << 32)
+                            ^ 0x5EED
+                            ^ self.salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ),
                 })
             })
             .collect();
@@ -200,9 +219,12 @@ impl ObjectStore {
 
     /// The warm-cache symbol at sequence `seq` of `(id, gen_index)`: the
     /// cached symbol when retained (hit), a freshly encoded one when the
-    /// cursor is at the head (miss). Returns the *actual* sequence served
-    /// (≥ `seq`; it jumps forward past evictions) so the caller can
-    /// resume at `actual + 1`.
+    /// cursor is at or past the head (miss). Returns the *actual*
+    /// sequence served so the caller can resume at `actual + 1`: it
+    /// jumps forward past evictions, and jumps *backward* to the head
+    /// when `seq` points beyond the newest symbol (replica-salted
+    /// sessions start with cursors offset into a ring that may not have
+    /// grown that far yet — the cursor self-heals on first use).
     ///
     /// `None` for unknown objects, out-of-range generations, or an
     /// encoder that refuses to produce.
@@ -302,6 +324,23 @@ mod tests {
         let (s2, p2) = store.symbol(9, 1, 0).expect("symbol");
         assert_eq!(s1, s2);
         assert_eq!(p1, p2, "two clients at the same cursor share one encode");
+    }
+
+    #[test]
+    fn distinct_salts_encode_distinct_symbol_streams() {
+        // Two replicas of the same object with different salts must not
+        // hand a striped client identical (duplicate-rank) prefixes.
+        let object: Vec<u8> = (0..200u32).map(|i| (i * 31 % 256) as u8).collect();
+        let params = SchemeParams::new(SchemeKind::Rlnc, 8, 16);
+        let streams: Vec<Vec<_>> = [1u64, 2]
+            .iter()
+            .map(|&salt| {
+                let store = ObjectStore::with_salt(16, salt).expect("store");
+                store.register(9, &object, params).expect("register");
+                (0..8).map(|seq| store.symbol(9, 0, seq).expect("symbol").1).collect()
+            })
+            .collect();
+        assert_ne!(streams[0], streams[1], "salted replicas must diverge");
     }
 
     #[test]

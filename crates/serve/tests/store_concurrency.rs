@@ -1,0 +1,168 @@
+//! `ObjectStore` under concurrent hitters: barrier-driven threads hammer
+//! the warm rings while the test checks eviction order and counter
+//! accounting invariants that must hold under *any* interleaving.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use ltnc_scheme::{SchemeKind, SchemeParams};
+use ltnc_serve::ObjectStore;
+
+fn pseudo_object(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 131 % 251) as u8).collect()
+}
+
+/// Stable fingerprint of a packet for cross-thread identity comparison.
+fn fingerprint(packet: &ltnc_gf2::EncodedPacket) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    };
+    for index in packet.vector().iter_ones() {
+        mix(index as u8);
+        mix((index >> 8) as u8);
+    }
+    for &byte in packet.payload().as_bytes() {
+        mix(byte);
+    }
+    hash
+}
+
+#[test]
+fn concurrent_hitters_keep_counters_and_identity_consistent() {
+    const THREADS: usize = 8;
+    const REQUESTS: usize = 200;
+    const CAPACITY: usize = 16;
+    const GENERATIONS: u32 = 2;
+
+    let store = Arc::new(ObjectStore::new(CAPACITY).expect("store"));
+    // 8 × 16 = 128 B/gen, 256 bytes → exactly 2 generations.
+    store
+        .register(1, &pseudo_object(256), SchemeParams::new(SchemeKind::Rlnc, 8, 16))
+        .expect("register");
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                // All threads start fetching at the same instant, each
+                // walking its own cursor like a real session does.
+                barrier.wait();
+                let mut seen: Vec<(u32, u64, u64)> = Vec::with_capacity(REQUESTS);
+                let mut cursor = [0u64; GENERATIONS as usize];
+                for i in 0..REQUESTS {
+                    let gen_index = ((t + i) % GENERATIONS as usize) as u32;
+                    let (seq, packet) =
+                        store.symbol(1, gen_index, cursor[gen_index as usize]).expect("symbol");
+                    assert!(
+                        seq >= cursor[gen_index as usize],
+                        "served sequence may only jump forward past evictions"
+                    );
+                    cursor[gen_index as usize] = seq + 1;
+                    seen.push((gen_index, seq, fingerprint(&packet)));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let mut identity: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut total_requests = 0u64;
+    for handle in handles {
+        for (gen_index, seq, print) in handle.join().expect("hitter panicked") {
+            total_requests += 1;
+            // A sequence number is assigned to exactly one encoded symbol,
+            // ever: two threads served (gen, seq) must have gotten the
+            // same bytes (that sharing is the whole point of the store).
+            if let Some(previous) = identity.insert((gen_index, seq), print) {
+                assert_eq!(previous, print, "generation {gen_index} seq {seq} served twice");
+            }
+        }
+    }
+
+    let stats = store.cache_stats();
+    // Every symbol() call counts exactly one hit or one miss.
+    assert_eq!(stats.hits + stats.misses, total_requests, "accounting must not drop requests");
+    // Each miss appends one symbol; a ring never exceeds capacity, so
+    // everything encoded beyond capacity must have been evicted.
+    let retained_max = (CAPACITY as u64) * u64::from(GENERATIONS);
+    assert_eq!(
+        stats.evictions,
+        stats.misses.saturating_sub(retained_max),
+        "eviction count must equal encodes minus retained capacity"
+    );
+    assert!(stats.hits > 0, "concurrent same-object hitters must share encodes");
+}
+
+#[test]
+fn eviction_is_strictly_oldest_first() {
+    const CAPACITY: usize = 8;
+    let store = ObjectStore::new(CAPACITY).expect("store");
+    store
+        .register(1, &pseudo_object(128), SchemeParams::new(SchemeKind::Rlnc, 8, 16))
+        .expect("register");
+
+    // Encode 3 × capacity symbols; after each eviction the oldest
+    // retained sequence must advance by exactly one.
+    for seq in 0..(3 * CAPACITY as u64) {
+        let (served, _) = store.symbol(1, 0, seq).expect("symbol");
+        assert_eq!(served, seq, "at the head every request is a fresh encode");
+        let oldest_retained = (seq + 1).saturating_sub(CAPACITY as u64);
+        // A stale cursor (0) must land exactly on the oldest retained
+        // symbol — evicting anything but the oldest would break this.
+        let (clamped, _) = store.symbol(1, 0, 0).expect("clamped symbol");
+        assert_eq!(clamped, oldest_retained, "oldest-first eviction order");
+    }
+    let stats = store.cache_stats();
+    // Every head request was an encode; all but one ring of them evicted.
+    assert_eq!(stats.misses, 3 * CAPACITY as u64);
+    assert_eq!(stats.evictions, 2 * CAPACITY as u64);
+}
+
+/// Stress variant for the CI `--include-ignored` job: more threads, more
+/// traffic, a tiny ring to force constant eviction churn.
+#[test]
+#[ignore = "stress: run via cargo test -- --include-ignored"]
+fn stress_concurrent_hitters_with_eviction_churn() {
+    const THREADS: usize = 16;
+    const REQUESTS: usize = 2000;
+    const CAPACITY: usize = 4;
+
+    let store = Arc::new(ObjectStore::new(CAPACITY).expect("store"));
+    store
+        .register(1, &pseudo_object(512), SchemeParams::new(SchemeKind::Ltnc, 16, 16))
+        .expect("register");
+    let generations = 2u32;
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                let mut cursor = vec![0u64; generations as usize];
+                for i in 0..REQUESTS {
+                    let gen_index = ((t * 7 + i) % generations as usize) as u32;
+                    let (seq, _) =
+                        store.symbol(1, gen_index, cursor[gen_index as usize]).expect("symbol");
+                    assert!(seq >= cursor[gen_index as usize]);
+                    cursor[gen_index as usize] = seq + 1;
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("hitter panicked");
+    }
+    let stats = store.cache_stats();
+    assert_eq!(stats.hits + stats.misses, (THREADS * REQUESTS) as u64);
+    assert_eq!(
+        stats.evictions,
+        stats.misses.saturating_sub(CAPACITY as u64 * u64::from(generations))
+    );
+}

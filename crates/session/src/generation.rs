@@ -150,51 +150,51 @@ impl SourceSession {
 
 /// Receiver-side session: per-generation decode state, the header-first
 /// feedback check, and final reassembly.
+///
+/// A thin single-owner façade over [`crate::lease::SharedReceiver`] — one
+/// implementation of the accept/deliver/reassemble protocol serves the
+/// UDP gossip path (this type) and the TCP/striped serving path (the
+/// shared receiver directly), so the semantics cannot drift apart.
 pub struct ReceiverSession {
-    manifest: ObjectManifest,
-    nodes: Vec<Box<dyn Scheme>>,
-    complete: Vec<bool>,
-    complete_count: usize,
+    shared: crate::lease::SharedReceiver,
 }
 
 impl ReceiverSession {
     /// Builds empty decode state for every generation in the manifest.
     #[must_use]
     pub fn new(manifest: ObjectManifest) -> Self {
-        let count = manifest.generation_count() as usize;
-        let nodes = (0..count).map(|_| manifest.params.empty_node()).collect();
-        ReceiverSession { manifest, nodes, complete: vec![false; count], complete_count: 0 }
+        ReceiverSession { shared: crate::lease::SharedReceiver::new(manifest) }
     }
 
     /// The session's manifest.
     #[must_use]
     pub fn manifest(&self) -> &ObjectManifest {
-        &self.manifest
+        self.shared.manifest()
     }
 
     /// Number of generations fully decoded so far.
     #[must_use]
     pub fn complete_generations(&self) -> usize {
-        self.complete_count
+        self.shared.complete_generations()
     }
 
     /// `true` once every generation has decoded.
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.complete_count == self.nodes.len()
+        self.shared.is_complete()
     }
 
     /// Whether one specific generation has decoded.
     #[must_use]
     pub fn generation_complete(&self, gen_index: u32) -> bool {
-        self.complete.get(gen_index as usize).copied().unwrap_or(false)
+        self.shared.generation_complete(gen_index)
     }
 
     /// Useful packets received for a generation (drives the
     /// aggressiveness gate of relays).
     #[must_use]
     pub fn useful_received(&self, gen_index: u32) -> usize {
-        self.nodes.get(gen_index as usize).map_or(0, |n| n.useful_received())
+        self.shared.useful_received(gen_index)
     }
 
     /// The paper's header-first feedback check: given only a code vector
@@ -203,80 +203,38 @@ impl ReceiverSession {
     /// generations, or vectors of the wrong length.
     #[must_use]
     pub fn would_accept(&self, gen_index: u32, vector: &CodeVector) -> bool {
-        let Some(node) = self.nodes.get(gen_index as usize) else {
-            return false;
-        };
-        if self.complete[gen_index as usize] || vector.len() != self.manifest.params.code_length {
-            return false;
-        }
-        // The check is header-only by design, so probe with an empty
-        // payload: every Scheme's would_accept inspects the vector alone.
-        let probe = EncodedPacket::new(vector.clone(), Payload::zero(0));
-        node.would_accept(&probe)
+        self.shared.would_accept(gen_index, vector)
     }
 
     /// Delivers a full packet to a generation. Returns `true` when the
     /// packet was useful; newly-completed generations are tracked.
     pub fn deliver(&mut self, gen_index: u32, packet: &EncodedPacket) -> bool {
-        let idx = gen_index as usize;
-        let Some(node) = self.nodes.get_mut(idx) else {
-            return false;
-        };
-        if packet.code_length() != self.manifest.params.code_length
-            || packet.payload_size() != self.manifest.params.payload_size
-        {
-            return false;
-        }
-        let useful = node.deliver(packet);
-        if !self.complete[idx] && node.is_complete() {
-            self.complete[idx] = true;
-            self.complete_count += 1;
-        }
-        useful
+        self.shared.deliver(gen_index, packet).useful
     }
 
     /// Recodes a fresh packet from a generation's received state (relay
     /// behaviour).
     pub fn make_packet(&mut self, gen_index: u32, rng: &mut dyn RngCore) -> Option<EncodedPacket> {
-        self.nodes.get_mut(gen_index as usize)?.make_packet(rng)
+        self.shared.make_packet(gen_index, rng)
     }
 
     /// Reassembles the object once complete: decodes every generation,
     /// concatenates the native payloads and trims the tail padding.
     /// `None` while any generation is missing or a decode fails.
     pub fn reassemble(&mut self) -> Option<Vec<u8>> {
-        if !self.is_complete() {
-            return None;
-        }
-        let mut object = Vec::with_capacity(self.manifest.object_len as usize);
-        for node in &mut self.nodes {
-            let natives = node.decoded_content()?;
-            for payload in &natives {
-                object.extend_from_slice(payload.as_bytes());
-            }
-        }
-        object.truncate(self.manifest.object_len as usize);
-        Some(object)
+        self.shared.reassemble()
     }
 
     /// Merged decoding counters across all generations.
     #[must_use]
     pub fn decoding_counters(&self) -> OpCounters {
-        let mut total = OpCounters::new();
-        for node in &self.nodes {
-            total.merge(&node.decoding_counters());
-        }
-        total
+        self.shared.decoding_counters()
     }
 
     /// Merged recoding counters across all generations (relay emissions).
     #[must_use]
     pub fn recoding_counters(&self) -> OpCounters {
-        let mut total = OpCounters::new();
-        for node in &self.nodes {
-            total.merge(&node.recoding_counters());
-        }
-        total
+        self.shared.recoding_counters()
     }
 }
 

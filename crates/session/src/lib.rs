@@ -13,5 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod generation;
+pub mod lease;
 
 pub use generation::{split_object, ObjectManifest, ReceiverSession, SourceSession};
+pub use lease::{DeliverOutcome, LeaseTable, SharedReceiver};
