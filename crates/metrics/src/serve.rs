@@ -58,6 +58,50 @@ impl ServeCounters {
         self.cache_evictions += other.cache_evictions;
     }
 
+    /// Field-wise difference `self − earlier`: the activity of the
+    /// interval between two cumulative snapshots.
+    ///
+    /// `Server::counters` snapshots are cumulative since spawn, which is
+    /// the wrong shape for dashboards; polling on an interval and
+    /// diffing consecutive snapshots yields rates. Saturates at zero per
+    /// field, so a stale or out-of-order `earlier` yields zeros rather
+    /// than wrapped garbage.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ltnc_metrics::ServeCounters;
+    ///
+    /// // Two cumulative snapshots, taken (say) 10 seconds apart…
+    /// let earlier = ServeCounters { bytes_out: 1_000, cache_hits: 40, ..ServeCounters::new() };
+    /// let now = ServeCounters { bytes_out: 6_000, cache_hits: 90, ..ServeCounters::new() };
+    ///
+    /// // …become interval activity, and from there rates.
+    /// let delta = now.snapshot_delta(&earlier);
+    /// assert_eq!(delta.bytes_out, 5_000);
+    /// assert_eq!(delta.cache_hits, 50);
+    /// let interval_secs = 10.0;
+    /// assert_eq!(delta.bytes_out as f64 / interval_secs, 500.0); // B/s
+    /// ```
+    #[must_use]
+    pub fn snapshot_delta(&self, earlier: &ServeCounters) -> ServeCounters {
+        ServeCounters {
+            sessions_accepted: self.sessions_accepted.saturating_sub(earlier.sessions_accepted),
+            sessions_rejected: self.sessions_rejected.saturating_sub(earlier.sessions_rejected),
+            sessions_completed: self.sessions_completed.saturating_sub(earlier.sessions_completed),
+            bytes_out: self.bytes_out.saturating_sub(earlier.bytes_out),
+            bytes_in: self.bytes_in.saturating_sub(earlier.bytes_in),
+            transfers_offered: self.transfers_offered.saturating_sub(earlier.transfers_offered),
+            transfers_aborted: self.transfers_aborted.saturating_sub(earlier.transfers_aborted),
+            transfers_delivered: self
+                .transfers_delivered
+                .saturating_sub(earlier.transfers_delivered),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+        }
+    }
+
     /// Fraction of symbol requests served from the warm cache, in
     /// `[0, 1]`; `0` when no symbol was ever requested.
     #[must_use]
@@ -146,5 +190,61 @@ mod tests {
         let s = ServeCounters::new().to_string();
         assert!(s.contains("0 accepted"));
         assert!(s.contains("0 hits"));
+    }
+
+    #[test]
+    fn snapshot_delta_diffs_every_field_and_saturates() {
+        let earlier = ServeCounters {
+            sessions_accepted: 3,
+            sessions_rejected: 1,
+            sessions_completed: 2,
+            bytes_out: 1000,
+            bytes_in: 100,
+            transfers_offered: 50,
+            transfers_aborted: 5,
+            transfers_delivered: 40,
+            cache_hits: 30,
+            cache_misses: 10,
+            cache_evictions: 4,
+        };
+        let now = ServeCounters {
+            sessions_accepted: 7,
+            sessions_rejected: 1,
+            sessions_completed: 6,
+            bytes_out: 2500,
+            bytes_in: 260,
+            transfers_offered: 90,
+            transfers_aborted: 9,
+            transfers_delivered: 72,
+            cache_hits: 75,
+            cache_misses: 15,
+            cache_evictions: 4,
+        };
+        let delta = now.snapshot_delta(&earlier);
+        assert_eq!(
+            delta,
+            ServeCounters {
+                sessions_accepted: 4,
+                sessions_rejected: 0,
+                sessions_completed: 4,
+                bytes_out: 1500,
+                bytes_in: 160,
+                transfers_offered: 40,
+                transfers_aborted: 4,
+                transfers_delivered: 32,
+                cache_hits: 45,
+                cache_misses: 5,
+                cache_evictions: 0,
+            }
+        );
+        // Interval rates derive directly from the delta.
+        assert!((delta.cache_hit_rate() - 0.9).abs() < 1e-12);
+        // Out-of-order snapshots saturate to zero instead of wrapping.
+        let backwards = earlier.snapshot_delta(&now);
+        assert_eq!(backwards, ServeCounters::new());
+        // Deltas re-accumulate: earlier + delta == now.
+        let mut rebuilt = earlier;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, now);
     }
 }

@@ -37,6 +37,15 @@ pub struct WireCounters {
     pub session_mismatches: u64,
     /// Inbound datagrams dropped because the actor's bounded queue was full.
     pub inbound_dropped: u64,
+    /// Offers that never received feedback and were forgotten at their TTL
+    /// — the loss signal the adaptive pacing budget reacts to.
+    pub offer_timeouts: u64,
+    /// Times an adaptive in-flight budget crossed up to the next integer
+    /// (additive increase on observed feedback).
+    pub budget_raises: u64,
+    /// Times an adaptive in-flight budget was cut (multiplicative decrease
+    /// after offer timeouts).
+    pub budget_cuts: u64,
 }
 
 impl WireCounters {
@@ -60,6 +69,21 @@ impl WireCounters {
         self.decode_errors += other.decode_errors;
         self.session_mismatches += other.session_mismatches;
         self.inbound_dropped += other.inbound_dropped;
+        self.offer_timeouts += other.offer_timeouts;
+        self.budget_raises += other.budget_raises;
+        self.budget_cuts += other.budget_cuts;
+    }
+
+    /// Fraction of offered transfers that timed out without any feedback,
+    /// in `[0, 1]`; `0` when nothing was offered. This is the endpoint's
+    /// aggregate view of the loss estimate each peer budget tracks.
+    #[must_use]
+    pub fn timeout_rate(&self) -> f64 {
+        if self.transfers_offered == 0 {
+            0.0
+        } else {
+            self.offer_timeouts as f64 / self.transfers_offered as f64
+        }
     }
 
     /// Control-plane share of the bytes sent (everything except payloads).
@@ -85,8 +109,9 @@ impl fmt::Display for WireCounters {
         write!(
             f,
             "sent {} dgrams / {} B ({} B payload), recv {} dgrams / {} B, \
-             transfers {} offered / {} aborted / {} delivered ({} useful), \
-             {} decode errors, {} foreign-session, {} dropped",
+             transfers {} offered / {} aborted / {} delivered ({} useful) / {} timed out, \
+             {} decode errors, {} foreign-session, {} dropped, \
+             budget {} raises / {} cuts",
             self.datagrams_sent,
             self.bytes_sent,
             self.payload_bytes_sent,
@@ -96,9 +121,12 @@ impl fmt::Display for WireCounters {
             self.transfers_aborted,
             self.transfers_delivered,
             self.useful_deliveries,
+            self.offer_timeouts,
             self.decode_errors,
             self.session_mismatches,
             self.inbound_dropped,
+            self.budget_raises,
+            self.budget_cuts,
         )
     }
 }
@@ -129,6 +157,23 @@ mod tests {
         assert_eq!(WireCounters::new().abort_rate(), 0.0);
         let c = WireCounters { transfers_offered: 8, transfers_aborted: 2, ..WireCounters::new() };
         assert!((c.abort_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pacing_counters_merge_and_rate() {
+        assert_eq!(WireCounters::new().timeout_rate(), 0.0);
+        let mut a = WireCounters {
+            transfers_offered: 10,
+            offer_timeouts: 2,
+            budget_raises: 3,
+            ..WireCounters::new()
+        };
+        let b = WireCounters { offer_timeouts: 1, budget_cuts: 4, ..WireCounters::new() };
+        a.merge(&b);
+        assert_eq!(a.offer_timeouts, 3);
+        assert_eq!(a.budget_raises, 3);
+        assert_eq!(a.budget_cuts, 4);
+        assert!((a.timeout_rate() - 0.3).abs() < 1e-12);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Every transport test in this workspace used to run over clean
 //! localhost sockets, which exercises none of the failure handling the
 //! protocol exists for. This module makes adverse conditions *seeded and
-//! reproducible*:
+//! reproducible*, for streams and for datagrams:
 //!
 //! * [`FaultyStream`] wraps any `Read + Write` and injects faults from a
 //!   [`FaultPlan`]: per-byte drops, per-call delays, read fragmentation,
@@ -15,15 +15,26 @@
 //!   connection through a `FaultyStream`. Integration tests point a
 //!   client at the proxy instead of the server and get loss, stalls and
 //!   mid-transfer disconnects without touching either endpoint's code.
+//! * [`FaultySocket`] is the datagram counterpart: it wraps a
+//!   [`UdpSocket`] and applies a [`DatagramFaultPlan`] per direction —
+//!   whole-datagram drops, duplicates, reordering within a bounded
+//!   window, and per-datagram delays. [`crate::peer::PeerNode`] runs all
+//!   its traffic through one, so the UDP gossip tests exercise exactly
+//!   the lossy links the paper's redundancy and this crate's adaptive
+//!   pacing exist for.
 //!
-//! Byte-counted faults (`truncate_read_at`, `disconnect_read_at`) are
-//! deterministic regardless of how the OS chunks the stream, which is
+//! Byte-counted stream faults (`truncate_read_at`, `disconnect_read_at`)
+//! are deterministic regardless of how the OS chunks the stream, which is
 //! what makes "kill the server after exactly K bytes" a stable test.
+//! Datagram faults decide per *datagram* in arrival order, so a fixed
+//! seed replays the same drop/duplicate/reorder pattern over the same
+//! traffic.
 
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -137,6 +148,22 @@ impl FaultPlan {
 /// Byte budgets count bytes *delivered to the caller* (after drops), so a
 /// `truncate_read_at(K)` cut lands at the same protocol position however
 /// the inner stream chunks its reads.
+///
+/// # Example
+///
+/// ```
+/// use std::io::{Cursor, Read};
+/// use ltnc_net::faults::{FaultPlan, FaultyStream};
+///
+/// // Deliver exactly 5 bytes, then a clean EOF — however the inner
+/// // stream chunks its reads.
+/// let plan = FaultPlan::clean(42).truncate_read_at(5);
+/// let mut stream = FaultyStream::new(Cursor::new(vec![7u8; 100]), plan);
+/// let mut out = Vec::new();
+/// stream.read_to_end(&mut out).unwrap();
+/// assert_eq!(out, vec![7u8; 5]);
+/// assert_eq!(stream.read_delivered(), 5);
+/// ```
 #[derive(Debug)]
 pub struct FaultyStream<S> {
     inner: S,
@@ -285,6 +312,37 @@ impl<S: Write> Write for FaultyStream<S> {
 /// server→client direction through `server_to_client`. When a pump sees
 /// EOF or an injected error it shuts down *both* sockets, so a
 /// `disconnect_read_at` on one side looks like a dead peer to both.
+///
+/// # Example
+///
+/// ```
+/// use std::io::{Read, Write};
+/// use std::net::{TcpListener, TcpStream};
+/// use ltnc_net::faults::{FaultPlan, FaultProxy};
+///
+/// // An upstream that echoes a greeting to every connection…
+/// let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+/// let upstream = listener.local_addr().unwrap();
+/// std::thread::spawn(move || {
+///     for stream in listener.incoming().flatten() {
+///         let mut stream = stream;
+///         let _ = stream.write_all(b"hello from upstream");
+///     }
+/// });
+///
+/// // …reached through a proxy that kills the reply after 5 bytes.
+/// let proxy = FaultProxy::spawn(
+///     upstream,
+///     FaultPlan::clean(1),
+///     FaultPlan::clean(2).truncate_read_at(5),
+/// )
+/// .unwrap();
+/// let mut client = TcpStream::connect(proxy.local_addr()).unwrap();
+/// let mut got = Vec::new();
+/// client.read_to_end(&mut got).unwrap();
+/// assert_eq!(got, b"hello");
+/// proxy.shutdown();
+/// ```
 pub struct FaultProxy {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -422,6 +480,525 @@ fn pump<S: Read>(mut from: FaultyStream<S>, mut to: TcpStream, stop: &AtomicBool
     let _ = to.shutdown(Shutdown::Both);
 }
 
+/// A seeded description of the faults to inject on one *datagram*
+/// direction (inbound or outbound) of a [`FaultySocket`].
+///
+/// The default plan (via [`DatagramFaultPlan::clean`]) forwards every
+/// datagram untouched; builder methods switch individual faults on. All
+/// decisions are made per datagram in arrival order from a [`SmallRng`]
+/// seeded by the plan, so a fixed seed replays the same fault pattern
+/// over the same traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct DatagramFaultPlan {
+    /// Seed for every probabilistic decision this plan makes.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a datagram is silently dropped.
+    pub drop_rate: f64,
+    /// Probability in `[0, 1]` that a datagram is delivered twice.
+    pub duplicate_rate: f64,
+    /// Probability in `[0, 1]` that a datagram is held back and released
+    /// out of order, displaced by at most [`reorder_window`] later
+    /// datagrams.
+    ///
+    /// [`reorder_window`]: DatagramFaultPlan::reorder_window
+    pub reorder_rate: f64,
+    /// Maximum number of later datagrams that may overtake a held one.
+    /// `0` disables reordering regardless of [`reorder_rate`].
+    ///
+    /// [`reorder_rate`]: DatagramFaultPlan::reorder_rate
+    pub reorder_window: usize,
+    /// Probability in `[0, 1]` that a datagram is delayed by [`delay`]
+    /// before delivery (link jitter).
+    ///
+    /// [`delay`]: DatagramFaultPlan::delay
+    pub delay_rate: f64,
+    /// How long a delayed datagram is held up.
+    pub delay: Duration,
+}
+
+impl DatagramFaultPlan {
+    /// A plan that forwards every datagram untouched.
+    #[must_use]
+    pub fn clean(seed: u64) -> DatagramFaultPlan {
+        DatagramFaultPlan {
+            seed,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            reorder_window: 0,
+            delay_rate: 0.0,
+            delay: Duration::ZERO,
+        }
+    }
+
+    /// Drop each datagram with probability `rate` (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn drop_rate(mut self, rate: f64) -> DatagramFaultPlan {
+        self.drop_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Deliver each datagram twice with probability `rate`.
+    #[must_use]
+    pub fn duplicate_rate(mut self, rate: f64) -> DatagramFaultPlan {
+        self.duplicate_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Hold each datagram with probability `rate` and release it after at
+    /// most `window` later datagrams have overtaken it.
+    #[must_use]
+    pub fn reorder(mut self, rate: f64, window: usize) -> DatagramFaultPlan {
+        self.reorder_rate = rate.clamp(0.0, 1.0);
+        self.reorder_window = window;
+        self
+    }
+
+    /// Delay each datagram by `delay` with probability `rate`.
+    #[must_use]
+    pub fn delay(mut self, rate: f64, delay: Duration) -> DatagramFaultPlan {
+        self.delay_rate = rate.clamp(0.0, 1.0);
+        self.delay = delay;
+        self
+    }
+
+    /// `true` when this plan injects nothing (the fast path skips the
+    /// fault bookkeeping entirely).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.duplicate_rate == 0.0
+            && (self.reorder_rate == 0.0 || self.reorder_window == 0)
+            && self.delay_rate == 0.0
+    }
+}
+
+/// The per-direction fault plans of one [`FaultySocket`].
+#[derive(Debug, Clone, Copy)]
+pub struct DatagramFaults {
+    /// Faults applied to datagrams arriving at this socket.
+    pub inbound: DatagramFaultPlan,
+    /// Faults applied to datagrams this socket sends.
+    pub outbound: DatagramFaultPlan,
+}
+
+impl DatagramFaults {
+    /// No faults in either direction.
+    #[must_use]
+    pub fn clean(seed: u64) -> DatagramFaults {
+        DatagramFaults {
+            inbound: DatagramFaultPlan::clean(seed),
+            outbound: DatagramFaultPlan::clean(seed ^ 0x0DD0),
+        }
+    }
+
+    /// Faults on the receive path only — the usual way to emulate a lossy
+    /// link in a swarm, where every datagram crosses exactly one
+    /// receiver's inbound plan.
+    #[must_use]
+    pub fn inbound(plan: DatagramFaultPlan) -> DatagramFaults {
+        DatagramFaults { inbound: plan, outbound: DatagramFaultPlan::clean(plan.seed ^ 0x0DD0) }
+    }
+
+    /// The same fault rates in both directions, with decorrelated seeds.
+    #[must_use]
+    pub fn symmetric(plan: DatagramFaultPlan) -> DatagramFaults {
+        DatagramFaults {
+            inbound: plan,
+            outbound: DatagramFaultPlan { seed: plan.seed ^ 0x0DD0, ..plan },
+        }
+    }
+
+    /// Re-seeds both plans for node `index` of a swarm, keeping the rates
+    /// (splitmix64-style mixing so neighbouring indices decorrelate).
+    #[must_use]
+    pub fn for_node(&self, index: u64) -> DatagramFaults {
+        let mix = |seed: u64| {
+            let mut z = seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        DatagramFaults {
+            inbound: DatagramFaultPlan { seed: mix(self.inbound.seed), ..self.inbound },
+            outbound: DatagramFaultPlan { seed: mix(self.outbound.seed), ..self.outbound },
+        }
+    }
+}
+
+/// Snapshot of the faults a [`FaultySocket`] has injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DatagramFaultCounters {
+    /// Inbound datagrams silently dropped.
+    pub dropped_in: u64,
+    /// Outbound datagrams silently dropped.
+    pub dropped_out: u64,
+    /// Inbound datagrams delivered twice.
+    pub duplicated_in: u64,
+    /// Outbound datagrams sent twice.
+    pub duplicated_out: u64,
+    /// Inbound datagrams released out of order.
+    pub reordered_in: u64,
+    /// Outbound datagrams released out of order.
+    pub reordered_out: u64,
+    /// Inbound datagrams delayed.
+    pub delayed_in: u64,
+    /// Outbound datagrams delayed.
+    pub delayed_out: u64,
+}
+
+impl DatagramFaultCounters {
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &DatagramFaultCounters) {
+        self.dropped_in += other.dropped_in;
+        self.dropped_out += other.dropped_out;
+        self.duplicated_in += other.duplicated_in;
+        self.duplicated_out += other.duplicated_out;
+        self.reordered_in += other.reordered_in;
+        self.reordered_out += other.reordered_out;
+        self.delayed_in += other.delayed_in;
+        self.delayed_out += other.delayed_out;
+    }
+
+    /// Total datagrams affected by any fault, either direction.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.dropped_in
+            + self.dropped_out
+            + self.duplicated_in
+            + self.duplicated_out
+            + self.reordered_in
+            + self.reordered_out
+            + self.delayed_in
+            + self.delayed_out
+    }
+}
+
+#[derive(Default)]
+struct FaultTotals {
+    dropped_in: AtomicU64,
+    dropped_out: AtomicU64,
+    duplicated_in: AtomicU64,
+    duplicated_out: AtomicU64,
+    reordered_in: AtomicU64,
+    reordered_out: AtomicU64,
+    delayed_in: AtomicU64,
+    delayed_out: AtomicU64,
+}
+
+/// A datagram held back by the reorder fault, released once `remaining`
+/// later datagrams have passed it (or the link goes idle).
+struct HeldDatagram {
+    bytes: Vec<u8>,
+    peer: SocketAddr,
+    remaining: usize,
+}
+
+struct DirectionState {
+    plan: DatagramFaultPlan,
+    rng: SmallRng,
+    /// Datagrams held by the reorder fault, oldest first.
+    held: VecDeque<HeldDatagram>,
+    /// Datagrams due for delivery before anything new is pulled from the
+    /// socket (expired holds, duplicate copies), oldest first.
+    ready: VecDeque<(Vec<u8>, SocketAddr)>,
+}
+
+impl DirectionState {
+    fn new(plan: DatagramFaultPlan) -> DirectionState {
+        DirectionState {
+            plan,
+            rng: SmallRng::seed_from_u64(plan.seed ^ 0xDA7A_FA17),
+            held: VecDeque::new(),
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// One datagram has passed the held ones: age them, moving expired
+    /// holds onto the ready queue (their displacement reached the window).
+    fn age_held(&mut self) {
+        for held in &mut self.held {
+            held.remaining = held.remaining.saturating_sub(1);
+        }
+        while self.held.front().is_some_and(|h| h.remaining == 0) {
+            let held = self.held.pop_front().expect("checked non-empty");
+            self.ready.push_back((held.bytes, held.peer));
+        }
+    }
+}
+
+/// A [`UdpSocket`] wrapper injecting seeded whole-datagram faults.
+///
+/// Wraps the blocking two-call API [`PeerNode`] uses — `recv_from` and
+/// `send_to` — and applies one [`DatagramFaultPlan`] per direction:
+/// drops, duplicates, reordering within a bounded window, and delays.
+/// Clones share fault state (and counters), so a receive handle on one
+/// thread and a send handle on another see one coherent plan.
+///
+/// Reordered datagrams are held until enough later traffic has overtaken
+/// them; when the link goes idle (a read times out) held datagrams are
+/// released instead — outbound ones onto the wire, the oldest inbound
+/// one to the caller — and dropping a handle flushes the outbound queue
+/// too, so a held datagram is delayed, never lost. Dropped datagrams
+/// surface to a blocking reader as
+/// [`io::ErrorKind::WouldBlock`], exactly like a read timeout — callers
+/// with a retry loop need no changes.
+///
+/// [`PeerNode`]: crate::peer::PeerNode
+///
+/// # Example
+///
+/// ```
+/// use std::net::UdpSocket;
+/// use ltnc_net::faults::{DatagramFaultPlan, DatagramFaults, FaultySocket};
+///
+/// let inner = UdpSocket::bind("127.0.0.1:0").unwrap();
+/// let faults = DatagramFaults::inbound(DatagramFaultPlan::clean(7).drop_rate(1.0));
+/// let socket = FaultySocket::new(inner, faults).unwrap();
+///
+/// let sender = UdpSocket::bind("127.0.0.1:0").unwrap();
+/// sender.send_to(b"doomed", socket.local_addr().unwrap()).unwrap();
+///
+/// // Every inbound datagram is dropped: the reader sees only timeouts.
+/// socket.set_read_timeout(Some(std::time::Duration::from_millis(50))).unwrap();
+/// let mut buf = [0u8; 64];
+/// assert!(socket.recv_from(&mut buf).is_err());
+/// assert_eq!(socket.fault_counters().dropped_in, 1);
+/// ```
+pub struct FaultySocket {
+    socket: UdpSocket,
+    recv: Arc<Mutex<DirectionState>>,
+    send: Arc<Mutex<DirectionState>>,
+    totals: Arc<FaultTotals>,
+}
+
+impl FaultySocket {
+    /// Wraps `socket` under the per-direction `faults`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `io::Result` mirrors `UdpSocket`
+    /// constructors so callers compose it with socket setup.
+    pub fn new(socket: UdpSocket, faults: DatagramFaults) -> io::Result<FaultySocket> {
+        Ok(FaultySocket {
+            socket,
+            recv: Arc::new(Mutex::new(DirectionState::new(faults.inbound))),
+            send: Arc::new(Mutex::new(DirectionState::new(faults.outbound))),
+            totals: Arc::new(FaultTotals::default()),
+        })
+    }
+
+    /// A second handle to the same socket sharing the same fault state
+    /// (the socket-thread / actor-thread split of [`crate::peer`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `UdpSocket::try_clone` failures.
+    pub fn try_clone(&self) -> io::Result<FaultySocket> {
+        Ok(FaultySocket {
+            socket: self.socket.try_clone()?,
+            recv: Arc::clone(&self.recv),
+            send: Arc::clone(&self.send),
+            totals: Arc::clone(&self.totals),
+        })
+    }
+
+    /// The wrapped socket's local address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `UdpSocket::local_addr` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Sets the read timeout of the wrapped socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `UdpSocket::set_read_timeout` failures.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.socket.set_read_timeout(timeout)
+    }
+
+    /// Faults injected so far, both directions.
+    #[must_use]
+    pub fn fault_counters(&self) -> DatagramFaultCounters {
+        DatagramFaultCounters {
+            dropped_in: self.totals.dropped_in.load(Ordering::Relaxed),
+            dropped_out: self.totals.dropped_out.load(Ordering::Relaxed),
+            duplicated_in: self.totals.duplicated_in.load(Ordering::Relaxed),
+            duplicated_out: self.totals.duplicated_out.load(Ordering::Relaxed),
+            reordered_in: self.totals.reordered_in.load(Ordering::Relaxed),
+            reordered_out: self.totals.reordered_out.load(Ordering::Relaxed),
+            delayed_in: self.totals.delayed_in.load(Ordering::Relaxed),
+            delayed_out: self.totals.delayed_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Receives one datagram, applying the inbound fault plan.
+    ///
+    /// Dropped datagrams (and datagrams freshly held for reordering)
+    /// surface as [`io::ErrorKind::WouldBlock`], indistinguishable from a
+    /// read timeout to the caller's retry loop.
+    ///
+    /// # Errors
+    ///
+    /// Everything `UdpSocket::recv_from` can return, plus the synthetic
+    /// `WouldBlock` described above.
+    pub fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        let mut state = self.recv.lock().expect("recv fault state poisoned");
+        if let Some((bytes, peer)) = state.ready.pop_front() {
+            return Ok(deliver(&bytes, peer, buf));
+        }
+        if state.plan.is_clean() {
+            let result = self.socket.recv_from(buf);
+            if let Err(e) = &result {
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+                    // Even with a clean inbound plan, an idle link must
+                    // release what the *outbound* reorder fault holds.
+                    self.flush_held_send();
+                }
+            }
+            return result;
+        }
+        match self.socket.recv_from(buf) {
+            Ok((len, peer)) => {
+                state.age_held();
+                let plan = state.plan;
+                if plan.delay_rate > 0.0 && state.rng.gen_bool(plan.delay_rate) {
+                    self.totals.delayed_in.fetch_add(1, Ordering::Relaxed);
+                    thread::sleep(plan.delay);
+                }
+                if plan.drop_rate > 0.0 && state.rng.gen_bool(plan.drop_rate) {
+                    self.totals.dropped_in.fetch_add(1, Ordering::Relaxed);
+                    return ready_or_would_block(&mut state, buf, "datagram dropped");
+                }
+                if plan.reorder_window > 0
+                    && plan.reorder_rate > 0.0
+                    && state.rng.gen_bool(plan.reorder_rate)
+                {
+                    self.totals.reordered_in.fetch_add(1, Ordering::Relaxed);
+                    let remaining = state.rng.gen_range(1..=plan.reorder_window);
+                    state.held.push_back(HeldDatagram {
+                        bytes: buf[..len].to_vec(),
+                        peer,
+                        remaining,
+                    });
+                    return ready_or_would_block(&mut state, buf, "datagram held for reorder");
+                }
+                if plan.duplicate_rate > 0.0 && state.rng.gen_bool(plan.duplicate_rate) {
+                    self.totals.duplicated_in.fetch_add(1, Ordering::Relaxed);
+                    state.ready.push_back((buf[..len].to_vec(), peer));
+                }
+                Ok((len, peer))
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle link: nothing further will overtake held datagrams,
+                // so release them — every held *outbound* one onto the
+                // wire, the oldest inbound one to the caller. Delayed,
+                // never stranded (a node that converged and stopped
+                // sending must not strand its final COMPLETEs).
+                self.flush_held_send();
+                match state.held.pop_front() {
+                    Some(held) => Ok(deliver(&held.bytes, held.peer, buf)),
+                    None => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Transmits everything the outbound reorder fault still holds, due
+    /// or not. Called when a reader observes an idle link and when a
+    /// handle drops, so held datagrams are delayed, never lost.
+    fn flush_held_send(&self) {
+        let Ok(mut state) = self.send.lock() else { return };
+        while let Some((bytes, peer)) = state.ready.pop_front() {
+            let _ = self.socket.send_to(&bytes, peer);
+        }
+        while let Some(held) = state.held.pop_front() {
+            let _ = self.socket.send_to(&held.bytes, held.peer);
+        }
+    }
+
+    /// Sends one datagram, applying the outbound fault plan. Dropped and
+    /// held datagrams still report their full length as sent — the faults
+    /// model the link, not the local syscall.
+    ///
+    /// # Errors
+    ///
+    /// Everything `UdpSocket::send_to` can return.
+    pub fn send_to(&self, bytes: &[u8], to: SocketAddr) -> io::Result<usize> {
+        let mut state = self.send.lock().expect("send fault state poisoned");
+        if state.plan.is_clean() {
+            return self.socket.send_to(bytes, to);
+        }
+        state.age_held();
+        while let Some((held, peer)) = state.ready.pop_front() {
+            let _ = self.socket.send_to(&held, peer);
+        }
+        let plan = state.plan;
+        if plan.delay_rate > 0.0 && state.rng.gen_bool(plan.delay_rate) {
+            self.totals.delayed_out.fetch_add(1, Ordering::Relaxed);
+            thread::sleep(plan.delay);
+        }
+        if plan.drop_rate > 0.0 && state.rng.gen_bool(plan.drop_rate) {
+            self.totals.dropped_out.fetch_add(1, Ordering::Relaxed);
+            return Ok(bytes.len());
+        }
+        if plan.reorder_window > 0
+            && plan.reorder_rate > 0.0
+            && state.rng.gen_bool(plan.reorder_rate)
+        {
+            self.totals.reordered_out.fetch_add(1, Ordering::Relaxed);
+            let remaining = state.rng.gen_range(1..=plan.reorder_window);
+            state.held.push_back(HeldDatagram { bytes: bytes.to_vec(), peer: to, remaining });
+            return Ok(bytes.len());
+        }
+        if plan.duplicate_rate > 0.0 && state.rng.gen_bool(plan.duplicate_rate) {
+            self.totals.duplicated_out.fetch_add(1, Ordering::Relaxed);
+            let _ = self.socket.send_to(bytes, to);
+        }
+        self.socket.send_to(bytes, to)
+    }
+}
+
+impl Drop for FaultySocket {
+    fn drop(&mut self) {
+        // Any handle dropping flushes held outbound datagrams (the queues
+        // are popped, so clones flushing too is harmless): reordering
+        // delays traffic, it never swallows it.
+        self.flush_held_send();
+    }
+}
+
+/// Copies a stashed datagram out to the caller's buffer, truncating like
+/// UDP does when the buffer is too small.
+fn deliver(bytes: &[u8], peer: SocketAddr, buf: &mut [u8]) -> (usize, SocketAddr) {
+    let len = bytes.len().min(buf.len());
+    buf[..len].copy_from_slice(&bytes[..len]);
+    (len, peer)
+}
+
+/// After consuming an arriving datagram without delivering it (drop,
+/// hold), hand out a ready datagram if one is due, otherwise signal the
+/// caller to retry.
+fn ready_or_would_block(
+    state: &mut DirectionState,
+    buf: &mut [u8],
+    reason: &str,
+) -> io::Result<(usize, SocketAddr)> {
+    match state.ready.pop_front() {
+        Some((bytes, peer)) => Ok(deliver(&bytes, peer, buf)),
+        None => {
+            Err(io::Error::new(io::ErrorKind::WouldBlock, format!("fault injection: {reason}")))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,5 +1097,191 @@ mod tests {
         assert_eq!(written, 10, "exactly the budget is accepted");
         assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
         assert_eq!(s.into_inner().into_inner().len(), 10);
+    }
+
+    // ---- datagram faults ----
+
+    /// A bound faulty socket plus a plain sender aimed at it.
+    fn socket_pair(faults: DatagramFaults) -> (FaultySocket, UdpSocket, SocketAddr) {
+        let inner = UdpSocket::bind("127.0.0.1:0").expect("bind receiver");
+        let socket = FaultySocket::new(inner, faults).expect("wrap");
+        socket.set_read_timeout(Some(Duration::from_millis(40))).expect("timeout");
+        let sender = UdpSocket::bind("127.0.0.1:0").expect("bind sender");
+        let to = socket.local_addr().expect("addr");
+        (socket, sender, to)
+    }
+
+    /// Sends `n` numbered datagrams, then drains the receiver until it
+    /// stays quiet, returning the delivered sequence numbers in order.
+    fn pump_datagrams(socket: &FaultySocket, sender: &UdpSocket, to: SocketAddr, n: u8) -> Vec<u8> {
+        for i in 0..n {
+            sender.send_to(&[i], to).expect("send");
+            // Loopback preserves order for a single sender; the tiny gap
+            // keeps the receive path from coalescing visible timing.
+            thread::sleep(Duration::from_micros(300));
+        }
+        let mut seen = Vec::new();
+        let mut buf = [0u8; 16];
+        let mut quiet = 0;
+        while quiet < 3 {
+            let before = std::time::Instant::now();
+            match socket.recv_from(&mut buf) {
+                Ok((1, _)) => seen.push(buf[0]),
+                Ok(_) => panic!("unexpected datagram length"),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // A synthetic WouldBlock (drop, fresh hold) returns
+                    // instantly; only a real timeout means the link is
+                    // actually quiet.
+                    if before.elapsed() >= Duration::from_millis(30) {
+                        quiet += 1;
+                    }
+                }
+                Err(e) => panic!("recv failed: {e}"),
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn clean_datagram_plan_is_the_identity() {
+        let (socket, sender, to) = socket_pair(DatagramFaults::clean(1));
+        let seen = pump_datagrams(&socket, &sender, to, 20);
+        assert_eq!(seen, (0..20).collect::<Vec<u8>>());
+        assert_eq!(socket.fault_counters(), DatagramFaultCounters::default());
+    }
+
+    #[test]
+    fn full_drop_rate_delivers_nothing_and_counts() {
+        let faults = DatagramFaults::inbound(DatagramFaultPlan::clean(2).drop_rate(1.0));
+        let (socket, sender, to) = socket_pair(faults);
+        let seen = pump_datagrams(&socket, &sender, to, 10);
+        assert!(seen.is_empty(), "drop_rate 1.0 must drop everything, got {seen:?}");
+        assert_eq!(socket.fault_counters().dropped_in, 10);
+    }
+
+    #[test]
+    fn full_duplicate_rate_delivers_everything_twice() {
+        let faults = DatagramFaults::inbound(DatagramFaultPlan::clean(3).duplicate_rate(1.0));
+        let (socket, sender, to) = socket_pair(faults);
+        let seen = pump_datagrams(&socket, &sender, to, 5);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4], "each datagram twice: {seen:?}");
+        assert_eq!(socket.fault_counters().duplicated_in, 5);
+    }
+
+    #[test]
+    fn reordering_permutes_within_the_window_and_loses_nothing() {
+        let faults = DatagramFaults::inbound(DatagramFaultPlan::clean(4).reorder(0.5, 4));
+        let (socket, sender, to) = socket_pair(faults);
+        let n = 40u8;
+        let seen = pump_datagrams(&socket, &sender, to, n);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<u8>>(), "reorder must not lose datagrams");
+        assert!(seen != (0..n).collect::<Vec<u8>>(), "something must be out of order");
+        assert!(socket.fault_counters().reordered_in > 0);
+        // Window bound: a datagram may be displaced by at most window + the
+        // ready-queue backlog; with window 4 a displacement of n would mean
+        // a datagram was stranded until the end.
+        for (position, &seq) in seen.iter().enumerate() {
+            assert!(
+                (position as i64 - seq as i64).abs() <= 2 * 4,
+                "seq {seq} displaced to position {position}: outside the window"
+            );
+        }
+    }
+
+    #[test]
+    fn datagram_drops_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let plan = DatagramFaultPlan::clean(seed).drop_rate(0.4).duplicate_rate(0.2);
+            let (socket, sender, to) = socket_pair(DatagramFaults::inbound(plan));
+            pump_datagrams(&socket, &sender, to, 50)
+        };
+        let a = run(99);
+        let b = run(99);
+        let c = run(100);
+        assert_eq!(a, b, "same seed, same surviving datagrams");
+        assert_ne!(a, c, "different seed, different pattern");
+        assert!(a.len() < 60, "rate 0.4 must drop something");
+        assert!(!a.is_empty(), "rate 0.4 must keep something");
+    }
+
+    #[test]
+    fn outbound_faults_apply_on_send() {
+        let receiver = UdpSocket::bind("127.0.0.1:0").expect("bind receiver");
+        receiver.set_read_timeout(Some(Duration::from_millis(40))).expect("timeout");
+        let to = receiver.local_addr().expect("addr");
+        let inner = UdpSocket::bind("127.0.0.1:0").expect("bind sender");
+        let faults = DatagramFaults {
+            inbound: DatagramFaultPlan::clean(5),
+            outbound: DatagramFaultPlan::clean(5).drop_rate(1.0),
+        };
+        let socket = FaultySocket::new(inner, faults).expect("wrap");
+        for i in 0..8u8 {
+            // The drop is silent: the caller sees a normal send.
+            assert_eq!(socket.send_to(&[i], to).expect("send"), 1);
+        }
+        let mut buf = [0u8; 16];
+        assert!(receiver.recv_from(&mut buf).is_err(), "all sends dropped on the wire");
+        assert_eq!(socket.fault_counters().dropped_out, 8);
+    }
+
+    #[test]
+    fn held_outbound_datagrams_flush_on_idle_and_on_drop() {
+        let receiver = UdpSocket::bind("127.0.0.1:0").expect("bind receiver");
+        receiver.set_read_timeout(Some(Duration::from_millis(200))).expect("timeout");
+        let to = receiver.local_addr().expect("addr");
+        let drain = || {
+            let mut got = Vec::new();
+            let mut buf = [0u8; 16];
+            while let Ok((1, _)) = receiver.recv_from(&mut buf) {
+                got.push(buf[0]);
+            }
+            got.sort_unstable();
+            got
+        };
+        let faults = DatagramFaults {
+            inbound: DatagramFaultPlan::clean(7),
+            // Hold *every* send: without a flush path, stopping sending
+            // would strand all of them.
+            outbound: DatagramFaultPlan::clean(7).reorder(1.0, 8),
+        };
+
+        // Case 1: the node's own reader observes an idle link → flush.
+        let socket =
+            FaultySocket::new(UdpSocket::bind("127.0.0.1:0").expect("bind"), faults).expect("wrap");
+        socket.set_read_timeout(Some(Duration::from_millis(20))).expect("timeout");
+        for i in 0..5u8 {
+            socket.send_to(&[i], to).expect("send");
+        }
+        let mut buf = [0u8; 16];
+        let _ = socket.recv_from(&mut buf); // times out → idle flush
+        assert_eq!(drain(), vec![0, 1, 2, 3, 4], "idle reader must flush held sends");
+
+        // Case 2: no reader at all — dropping the handle flushes.
+        let socket =
+            FaultySocket::new(UdpSocket::bind("127.0.0.1:0").expect("bind"), faults).expect("wrap");
+        for i in 5..9u8 {
+            socket.send_to(&[i], to).expect("send");
+        }
+        drop(socket);
+        assert_eq!(drain(), vec![5, 6, 7, 8], "drop must flush held sends");
+    }
+
+    #[test]
+    fn clones_share_fault_state_and_counters() {
+        let faults = DatagramFaults::inbound(DatagramFaultPlan::clean(6).drop_rate(1.0));
+        let (socket, sender, to) = socket_pair(faults);
+        let clone = socket.try_clone().expect("clone");
+        sender.send_to(&[1], to).expect("send");
+        thread::sleep(Duration::from_millis(5));
+        let mut buf = [0u8; 16];
+        assert!(clone.recv_from(&mut buf).is_err(), "clone drops too");
+        assert_eq!(socket.fault_counters().dropped_in, 1, "counters are shared");
     }
 }

@@ -23,17 +23,21 @@
 //!   [`stream::FrameReassembler`] that turns arbitrarily chunked TCP
 //!   reads back into complete envelopes via [`envelope::required_len`],
 //!   tolerant of hostile input;
-//! * [`faults`] — seeded, deterministic fault injection
-//!   ([`faults::FaultyStream`] over any `Read + Write`, plus a TCP
-//!   [`faults::FaultProxy`]): drops, delays, truncation and
-//!   disconnect-at-byte-K, so every transport test can run under adverse
-//!   conditions reproducibly;
+//! * [`faults`] — seeded, deterministic fault injection for both
+//!   transports: [`faults::FaultyStream`] over any `Read + Write` plus a
+//!   TCP [`faults::FaultProxy`] (drops, delays, truncation and
+//!   disconnect-at-byte-K), and [`faults::FaultySocket`] over UDP
+//!   (whole-datagram drop/duplicate/reorder/delay per direction), so
+//!   every transport test can run under adverse conditions reproducibly;
 //! * [`peer`] — the [`peer::PeerNode`] actor: bounded-queue backpressure,
-//!   per-peer in-flight budgets, the aggressiveness gate for relays, and
-//!   graceful shutdown with full wire-level accounting
+//!   loss-adaptive per-peer in-flight budgets (AIMD over feedback
+//!   arrivals and offer timeouts), the aggressiveness gate for relays,
+//!   and graceful shutdown with full wire-level accounting
 //!   ([`ltnc_metrics::WireCounters`]);
 //! * [`swarm`] — one-call localhost orchestration used by the integration
-//!   tests and the `file_dissemination_udp` example.
+//!   tests and the `file_dissemination_udp` example, optionally running
+//!   every node behind seeded datagram faults
+//!   ([`swarm::SwarmConfig::faults`]).
 //!
 //! # Example
 //!
@@ -66,7 +70,10 @@ pub use ltnc_session::generation;
 
 pub use envelope::{Envelope, EnvelopeHeader, Message, MessageKind};
 pub use error::NetError;
-pub use faults::{FaultPlan, FaultProxy, FaultyStream};
+pub use faults::{
+    DatagramFaultCounters, DatagramFaultPlan, DatagramFaults, FaultPlan, FaultProxy, FaultySocket,
+    FaultyStream,
+};
 pub use ltnc_session::{split_object, ObjectManifest, ReceiverSession, SourceSession};
 pub use peer::{NodeConfig, NodeOptions, NodeRole, PeerNode, PeerReport};
 pub use stream::FrameReassembler;

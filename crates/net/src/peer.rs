@@ -15,6 +15,29 @@
 //!   pushes header-first transfer offers to randomly chosen peers, subject
 //!   to the aggressiveness gate and a per-peer in-flight budget.
 //!
+//! The in-flight budget is **loss-adaptive** by default (AIMD, with the
+//! asymmetry inverted relative to TCP because loss here is erasure, not
+//! congestion): an offer that times out while the peer is still
+//! answering *other* offers proves the link lossy — that offer pinned a
+//! budget slot down for a whole TTL, so the budget grows additively to
+//! hand the slot back and keep the live pipeline deep (the paper's
+//! redundancy-tracks-the-channel point applied to pacing). A peer gone
+//! entirely silent for a TTL is treated as dead: its budget is cut
+//! multiplicatively (at most once per TTL window) down to the floor,
+//! sparing offers for live peers — and its feedback, once it returns,
+//! grows the budget back to (never past) its initial value, so one
+//! outage is not a life sentence at the floor. On a clean link nothing
+//! times out and the budget never moves — fixed-cap behaviour exactly.
+//! Bounds come
+//! from [`NodeOptions::inflight_floor`] /
+//! [`NodeOptions::inflight_ceiling`]; per-peer loss estimates (EWMA over
+//! offer outcomes) are reported in [`PeerReport::loss_estimates`], and
+//! budget moves are counted in [`WireCounters`].
+//!
+//! All traffic runs through a [`FaultySocket`], so seeded datagram
+//! loss/reordering ([`PeerNode::spawn_faulty`]) exercises the same code
+//! paths as a clean socket ([`PeerNode::spawn`]).
+//!
 //! The transfer protocol mirrors the paper's binary feedback channel (see
 //! [`crate::envelope`]): `DATA-HEADER` offer → `FEEDBACK-ACCEPT`/`ABORT` →
 //! `DATA-PAYLOAD`. An aborted transfer costs the wire only the header and
@@ -41,7 +64,15 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::envelope::{self, Envelope, EnvelopeHeader, Message, MessageKind, GENERATION_OBJECT};
+use crate::faults::{DatagramFaultCounters, DatagramFaults, FaultySocket};
 use crate::generation::{ObjectManifest, ReceiverSession, SourceSession};
+
+/// Smoothing factor of the per-peer loss EWMA (higher reacts faster).
+const LOSS_EWMA_ALPHA: f64 = 0.1;
+
+/// Multiplicative-decrease factor applied to an adaptive budget when
+/// offers to a peer time out.
+const BUDGET_CUT_FACTOR: f64 = 0.5;
 
 /// What a node is in the session.
 pub enum NodeRole {
@@ -67,8 +98,18 @@ pub struct NodeOptions {
     pub aggressiveness: f64,
     /// Transfer offers initiated per tick.
     pub push_rate: usize,
-    /// Maximum transfers simultaneously awaiting feedback per peer.
+    /// Transfers simultaneously awaiting feedback per peer: the *initial*
+    /// budget when [`NodeOptions::adaptive_pacing`] is on, the fixed cap
+    /// when it is off.
     pub per_peer_inflight: usize,
+    /// Adapt each peer's in-flight budget to observed loss (AIMD over
+    /// feedback arrivals and offer timeouts). Off means the fixed
+    /// [`NodeOptions::per_peer_inflight`] cap of the original design.
+    pub adaptive_pacing: bool,
+    /// Lower bound of an adaptive budget (treated as at least 1).
+    pub inflight_floor: usize,
+    /// Upper bound of an adaptive budget.
+    pub inflight_ceiling: usize,
     /// Gossip tick period.
     pub tick: Duration,
     /// Offers not answered within this duration are forgotten.
@@ -79,12 +120,31 @@ pub struct NodeOptions {
     pub seed: u64,
 }
 
+impl NodeOptions {
+    /// Bounds of an adaptive budget: `(floor, ceiling)`, floor ≥ 1.
+    fn budget_bounds(&self) -> (f64, f64) {
+        let floor = self.inflight_floor.max(1) as f64;
+        let ceiling = (self.inflight_ceiling as f64).max(floor);
+        (floor, ceiling)
+    }
+
+    /// The clamped budget every fresh per-peer pacing entry starts with
+    /// (also the cap for peers with no pacing state yet).
+    fn initial_budget(&self) -> f64 {
+        let (floor, ceiling) = self.budget_bounds();
+        (self.per_peer_inflight.max(1) as f64).clamp(floor, ceiling)
+    }
+}
+
 impl Default for NodeOptions {
     fn default() -> Self {
         NodeOptions {
             aggressiveness: 0.01,
             push_rate: 2,
             per_peer_inflight: 4,
+            adaptive_pacing: true,
+            inflight_floor: 1,
+            inflight_ceiling: 64,
             tick: Duration::from_millis(2),
             pending_ttl: Duration::from_millis(250),
             queue_capacity: 1024,
@@ -118,6 +178,12 @@ pub struct PeerReport {
     pub decoding: OpCounters,
     /// Coding cost of the emission/recoding path.
     pub recoding: OpCounters,
+    /// Faults the node's [`FaultySocket`] injected (all zero for
+    /// [`PeerNode::spawn`]'s clean socket).
+    pub faults: DatagramFaultCounters,
+    /// Final per-peer loss estimates (EWMA over offer outcomes: feedback
+    /// arrived = 0, offer timed out = 1), sorted by peer address.
+    pub loss_estimates: Vec<(SocketAddr, f64)>,
 }
 
 enum Control {
@@ -150,7 +216,24 @@ impl PeerNode {
     ///
     /// Propagates socket creation/configuration failures.
     pub fn spawn(bind: SocketAddr, config: NodeConfig) -> io::Result<PeerNode> {
-        let socket = UdpSocket::bind(bind)?;
+        let seed = config.options.seed;
+        PeerNode::spawn_faulty(bind, config, DatagramFaults::clean(seed))
+    }
+
+    /// Like [`PeerNode::spawn`], but every datagram this node sends or
+    /// receives crosses the seeded `faults` plans first — the way the
+    /// swarm tests emulate lossy, reordering links without touching the
+    /// protocol code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket creation/configuration failures.
+    pub fn spawn_faulty(
+        bind: SocketAddr,
+        config: NodeConfig,
+        faults: DatagramFaults,
+    ) -> io::Result<PeerNode> {
+        let socket = FaultySocket::new(UdpSocket::bind(bind)?, faults)?;
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let local_addr = socket.local_addr()?;
 
@@ -229,7 +312,7 @@ impl PeerNode {
     }
 }
 
-fn socket_loop(socket: &UdpSocket, events: &SyncSender<(Vec<u8>, SocketAddr)>, shared: &Shared) {
+fn socket_loop(socket: &FaultySocket, events: &SyncSender<(Vec<u8>, SocketAddr)>, shared: &Shared) {
     // 64 KiB: the largest datagram UDP can carry; frames are validated by
     // the codec, not by the read size.
     let mut buf = vec![0u8; 64 * 1024];
@@ -266,8 +349,23 @@ struct PendingTransfer {
     born: Instant,
 }
 
+/// Adaptive pacing state for one peer: the AIMD budget and the loss
+/// estimate driving it.
+struct PeerPacing {
+    /// Fractional in-flight budget; its integer part is the cap.
+    budget: f64,
+    /// EWMA over offer outcomes (feedback = 0, timeout = 1).
+    loss_ewma: f64,
+    /// Last time any feedback arrived from this peer — the aliveness
+    /// signal that separates "lossy link" (raise) from "dead peer" (cut).
+    last_feedback: Option<Instant>,
+    /// Last multiplicative decrease — cuts fire at most once per pending
+    /// TTL so one silent window costs one cut, not a collapse.
+    last_cut: Option<Instant>,
+}
+
 struct Actor {
-    socket: UdpSocket,
+    socket: FaultySocket,
     session: u64,
     params: SchemeParams,
     options: NodeOptions,
@@ -280,6 +378,7 @@ struct Actor {
     next_transfer: u64,
     pending: HashMap<u64, PendingTransfer>,
     inflight_per_peer: HashMap<SocketAddr, usize>,
+    pacing: HashMap<SocketAddr, PeerPacing>,
     peer_done: HashMap<SocketAddr, HashSet<u32>>,
     object_done: HashSet<SocketAddr>,
     announced: HashSet<u32>,
@@ -289,7 +388,7 @@ struct Actor {
 }
 
 impl Actor {
-    fn new(socket: UdpSocket, config: NodeConfig, shared: Arc<Shared>) -> Actor {
+    fn new(socket: FaultySocket, config: NodeConfig, shared: Arc<Shared>) -> Actor {
         let (params, source, receiver) = match config.role {
             NodeRole::Source { object, params } => {
                 // Completion state for sources is already published by
@@ -320,6 +419,7 @@ impl Actor {
             next_transfer: 1,
             pending: HashMap::new(),
             inflight_per_peer: HashMap::new(),
+            pacing: HashMap::new(),
             peer_done: HashMap::new(),
             object_done: HashSet::new(),
             announced: HashSet::new(),
@@ -382,7 +482,96 @@ impl Actor {
         if let Some(source) = &self.source {
             recoding.merge(&source.recoding_counters());
         }
-        PeerReport { wire: self.wire, complete, complete_generations, object, decoding, recoding }
+        let mut loss_estimates: Vec<(SocketAddr, f64)> =
+            self.pacing.iter().map(|(&peer, pacing)| (peer, pacing.loss_ewma)).collect();
+        loss_estimates.sort_by_key(|&(peer, _)| peer);
+        PeerReport {
+            wire: self.wire,
+            complete,
+            complete_generations,
+            object,
+            decoding,
+            recoding,
+            faults: self.socket.fault_counters(),
+            loss_estimates,
+        }
+    }
+
+    /// Records the outcome of one offer to `peer` — feedback arrived
+    /// (`success`, whatever the verdict) or the offer died at its TTL —
+    /// updating the loss estimate and, when adaptive pacing is on, the
+    /// AIMD budget.
+    ///
+    /// The asymmetry is deliberate and opposite to TCP's: loss here is
+    /// *erasure*, not congestion. A timed-out offer to a peer that is
+    /// still answering others pinned a budget slot down for a whole TTL —
+    /// the additive increase hands that slot back, so the live pipeline
+    /// stays as deep as the clean-link one (redundancy tracking channel
+    /// loss, as in the paper). Only a peer gone entirely silent for a TTL
+    /// triggers the multiplicative decrease, throttling offers to the
+    /// dead until the floor.
+    fn note_outcome(&mut self, peer: SocketAddr, success: bool) {
+        let options = self.options;
+        let (floor, ceiling) = options.budget_bounds();
+        let base = options.initial_budget();
+        let pacing = self.pacing.entry(peer).or_insert_with(|| PeerPacing {
+            budget: base,
+            loss_ewma: 0.0,
+            last_feedback: None,
+            last_cut: None,
+        });
+        let observed = if success { 0.0 } else { 1.0 };
+        pacing.loss_ewma += LOSS_EWMA_ALPHA * (observed - pacing.loss_ewma);
+        if success {
+            pacing.last_feedback = Some(Instant::now());
+            // A peer cut for silence that answers again recovers: grow
+            // back toward the initial budget (never past it — raising
+            // above base is reserved for the loss signal), so one
+            // transient outage does not pin the peer at the floor for
+            // the rest of the session.
+            if options.adaptive_pacing && pacing.budget < base {
+                let before = pacing.budget as usize;
+                pacing.budget = (pacing.budget + 1.0 / pacing.budget.max(1.0)).min(base);
+                if pacing.budget as usize > before {
+                    self.wire.budget_raises += 1;
+                }
+            }
+            return;
+        }
+        if !options.adaptive_pacing {
+            return;
+        }
+        let before = pacing.budget as usize;
+        let alive = pacing.last_feedback.is_some_and(|at| at.elapsed() < options.pending_ttl);
+        if alive {
+            // Lossy but live: the lost offer wasted one slot for a full
+            // TTL; grow the budget by one to keep the live pipeline deep.
+            pacing.budget = (pacing.budget + 1.0).clamp(floor, ceiling);
+            if pacing.budget as usize > before {
+                self.wire.budget_raises += 1;
+            }
+        } else if pacing.last_cut.is_none_or(|at| at.elapsed() >= options.pending_ttl) {
+            // Silent for a whole TTL: multiplicative decrease, at most
+            // once per window, down to the floor.
+            pacing.last_cut = Some(Instant::now());
+            pacing.budget = (pacing.budget * BUDGET_CUT_FACTOR).clamp(floor, ceiling);
+            if (pacing.budget as usize) < before {
+                self.wire.budget_cuts += 1;
+            }
+        }
+    }
+
+    /// The in-flight cap currently in force for `peer`.
+    fn inflight_cap(&self, peer: &SocketAddr) -> usize {
+        if !self.options.adaptive_pacing {
+            return self.options.per_peer_inflight;
+        }
+        match self.pacing.get(peer) {
+            Some(pacing) => (pacing.budget as usize).max(1),
+            // Not yet tracked: the same clamped initial budget a fresh
+            // pacing entry starts with.
+            None => self.options.initial_budget() as usize,
+        }
     }
 
     fn send(&mut self, to: SocketAddr, header: &EnvelopeHeader, message: &Message) {
@@ -470,6 +659,9 @@ impl Actor {
                 if let Some(count) = self.inflight_per_peer.get_mut(&pending.to) {
                     *count = count.saturating_sub(1);
                 }
+                // Either verdict proves the offer/feedback round trip
+                // survived the link — a success for pacing purposes.
+                self.note_outcome(pending.to, true);
                 if accept {
                     self.wire.transfers_delivered += 1;
                     self.send(
@@ -542,16 +734,20 @@ impl Actor {
 
     fn evict_stale_pending(&mut self) {
         let ttl = self.options.pending_ttl;
-        let inflight = &mut self.inflight_per_peer;
-        self.pending.retain(|_, pending| {
-            let keep = pending.born.elapsed() < ttl;
-            if !keep {
-                if let Some(count) = inflight.get_mut(&pending.to) {
-                    *count = count.saturating_sub(1);
-                }
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, pending)| pending.born.elapsed() >= ttl)
+            .map(|(&transfer, _)| transfer)
+            .collect();
+        for transfer in expired {
+            let pending = self.pending.remove(&transfer).expect("collected above");
+            if let Some(count) = self.inflight_per_peer.get_mut(&pending.to) {
+                *count = count.saturating_sub(1);
             }
-            keep
-        });
+            self.wire.offer_timeouts += 1;
+            self.note_outcome(pending.to, false);
+        }
     }
 
     fn push_once(&mut self) {
@@ -563,8 +759,7 @@ impl Actor {
             .copied()
             .filter(|peer| !self.object_done.contains(peer))
             .filter(|peer| {
-                self.inflight_per_peer.get(peer).copied().unwrap_or(0)
-                    < self.options.per_peer_inflight
+                self.inflight_per_peer.get(peer).copied().unwrap_or(0) < self.inflight_cap(peer)
             })
             .collect();
         if candidates.is_empty() {
@@ -777,6 +972,96 @@ mod tests {
         };
         assert!(delivered);
         let _ = source.shutdown();
+    }
+
+    /// A source actor driven directly (no threads) to unit-test the
+    /// pacing state machine.
+    fn pacing_actor(options: NodeOptions) -> Actor {
+        let params = SchemeParams::new(SchemeKind::Rlnc, 4, 2);
+        let socket = crate::faults::FaultySocket::new(
+            UdpSocket::bind("127.0.0.1:0").expect("bind"),
+            crate::faults::DatagramFaults::clean(1),
+        )
+        .expect("wrap");
+        let shared = Arc::new(Shared {
+            complete: AtomicBool::new(false),
+            complete_generations: AtomicUsize::new(0),
+            inbound_dropped: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        Actor::new(
+            socket,
+            NodeConfig {
+                session: 1,
+                role: NodeRole::Source { object: vec![1u8; 8], params },
+                options,
+            },
+            shared,
+        )
+    }
+
+    #[test]
+    fn budget_recovers_to_base_after_a_silent_period() {
+        // Drive the pacing state machine directly: a peer goes silent
+        // (timeouts only) and is cut to the floor; when it answers again
+        // on a clean link, successes must grow the budget back to the
+        // initial value — and not past it.
+        let options = NodeOptions {
+            pending_ttl: Duration::from_millis(5),
+            seed: 13,
+            ..NodeOptions::default()
+        };
+        let mut actor = pacing_actor(options);
+        let peer: SocketAddr = "127.0.0.1:9".parse().expect("addr");
+
+        // Dead period: timeouts with no feedback, one cut per TTL window.
+        for _ in 0..12 {
+            actor.note_outcome(peer, false);
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(actor.inflight_cap(&peer), options.inflight_floor.max(1));
+        assert!(actor.wire.budget_cuts > 0, "silence must cut");
+
+        // Revival on a clean link: successes alone restore the base cap.
+        for _ in 0..64 {
+            actor.note_outcome(peer, true);
+        }
+        assert_eq!(actor.inflight_cap(&peer), options.per_peer_inflight);
+        assert!(actor.wire.budget_raises > 0, "recovery must count as raises");
+
+        // A timeout while the peer is alive grows the budget *past* base.
+        actor.note_outcome(peer, false);
+        assert_eq!(actor.inflight_cap(&peer), options.per_peer_inflight + 1);
+    }
+
+    #[test]
+    fn budget_bounds_clamp_the_initial_cap_too() {
+        let peer: SocketAddr = "127.0.0.1:9".parse().expect("addr");
+
+        // Initial budget above the ceiling: clamped down, tracked or not.
+        let over = NodeOptions {
+            per_peer_inflight: 100,
+            inflight_ceiling: 8,
+            seed: 14,
+            ..NodeOptions::default()
+        };
+        let mut actor = pacing_actor(over);
+        assert_eq!(actor.inflight_cap(&peer), 8, "untracked peer clamps to ceiling");
+        actor.note_outcome(peer, true);
+        assert_eq!(actor.inflight_cap(&peer), 8, "tracked peer starts clamped");
+        assert_eq!(actor.wire.budget_raises, 0, "clamping is not a raise");
+
+        // Initial budget below the floor: clamped up.
+        let under = NodeOptions {
+            per_peer_inflight: 1,
+            inflight_floor: 4,
+            seed: 15,
+            ..NodeOptions::default()
+        };
+        let mut actor = pacing_actor(under);
+        assert_eq!(actor.inflight_cap(&peer), 4, "untracked peer clamps to floor");
+        actor.note_outcome(peer, true);
+        assert_eq!(actor.inflight_cap(&peer), 4, "tracked peer starts clamped");
     }
 
     #[test]

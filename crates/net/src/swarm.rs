@@ -6,6 +6,11 @@
 //! every peer; peers gossip among themselves and never push back at the
 //! source), waits for convergence, shuts everything down gracefully and
 //! verifies the reconstruction bit for bit.
+//!
+//! With [`SwarmConfig::faults`] set, every node's socket is wrapped in a
+//! [`crate::faults::FaultySocket`] whose plans are re-seeded per node
+//! from the one template — a whole swarm of lossy, reordering links from
+//! a single seed, replayable by fixing that seed.
 
 use std::io;
 use std::net::SocketAddr;
@@ -15,6 +20,7 @@ use std::time::{Duration, Instant};
 use ltnc_metrics::WireCounters;
 use ltnc_scheme::{SchemeKind, SchemeParams};
 
+use crate::faults::{DatagramFaultCounters, DatagramFaults};
 use crate::generation::split_object;
 use crate::peer::{NodeConfig, NodeOptions, NodeRole, PeerNode, PeerReport};
 
@@ -37,6 +43,11 @@ pub struct SwarmConfig {
     pub timeout: Duration,
     /// Session identifier stamped into every envelope.
     pub session: u64,
+    /// Datagram fault template applied to every node's socket (`None`
+    /// runs clean). Each node gets the template's rates under a seed
+    /// re-mixed from its swarm index ([`DatagramFaults::for_node`]), so
+    /// one seed describes the whole swarm's loss pattern.
+    pub faults: Option<DatagramFaults>,
 }
 
 impl SwarmConfig {
@@ -52,6 +63,7 @@ impl SwarmConfig {
             options: NodeOptions::default(),
             timeout: Duration::from_secs(30),
             session: 0x5E55_1011,
+            faults: None,
         }
     }
 }
@@ -75,6 +87,9 @@ pub struct SwarmReport {
     pub total_wire: WireCounters,
     /// The source's own wire counters.
     pub source_wire: WireCounters,
+    /// Injected-fault totals summed over every node's socket (all zero
+    /// for a clean run).
+    pub total_faults: DatagramFaultCounters,
     /// Per-peer reports (source excluded).
     pub peer_reports: Vec<PeerReport>,
 }
@@ -95,18 +110,26 @@ pub fn run_localhost_swarm(config: &SwarmConfig) -> io::Result<SwarmReport> {
     let manifest = split_object(&config.object, params).0;
     let bind: SocketAddr = "127.0.0.1:0".parse().expect("valid address");
 
-    let source = PeerNode::spawn(
+    // Node 0 is the source; peers are 1..=N. Each node re-mixes the fault
+    // template's seed with its index so links fail independently.
+    let node_faults = |index: u64| match &config.faults {
+        Some(template) => template.for_node(index),
+        None => DatagramFaults::clean(config.options.seed ^ index),
+    };
+
+    let source = PeerNode::spawn_faulty(
         bind,
         NodeConfig {
             session: config.session,
             role: NodeRole::Source { object: config.object.clone(), params },
             options: NodeOptions { seed: config.options.seed ^ 0xD15E, ..config.options },
         },
+        node_faults(0),
     )?;
 
     let mut peers = Vec::with_capacity(config.peers);
     for i in 0..config.peers {
-        let spawned = PeerNode::spawn(
+        let spawned = PeerNode::spawn_faulty(
             bind,
             NodeConfig {
                 session: config.session,
@@ -116,6 +139,7 @@ pub fn run_localhost_swarm(config: &SwarmConfig) -> io::Result<SwarmReport> {
                     ..config.options
                 },
             },
+            node_faults(1 + i as u64),
         );
         match spawned {
             Ok(peer) => peers.push(peer),
@@ -164,8 +188,10 @@ pub fn run_localhost_swarm(config: &SwarmConfig) -> io::Result<SwarmReport> {
         .all(|r| r.object.as_deref() == Some(&config.object[..]));
 
     let mut total_wire = source_report.wire;
+    let mut total_faults = source_report.faults;
     for report in &peer_reports {
         total_wire.merge(&report.wire);
+        total_faults.merge(&report.faults);
     }
 
     Ok(SwarmReport {
@@ -177,6 +203,7 @@ pub fn run_localhost_swarm(config: &SwarmConfig) -> io::Result<SwarmReport> {
         generations: manifest.generation_count(),
         total_wire,
         source_wire: source_report.wire,
+        total_faults,
         peer_reports,
     })
 }

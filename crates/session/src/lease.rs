@@ -29,6 +29,25 @@ use rand::RngCore;
 use crate::generation::ObjectManifest;
 
 /// Ownership map from generation index to replica index.
+///
+/// # Example
+///
+/// ```
+/// use ltnc_session::LeaseTable;
+///
+/// // 5 generations striped across 2 replicas, round-robin.
+/// let mut table = LeaseTable::partition(5, 2);
+/// assert_eq!(table.leased_to(0), vec![0, 2, 4]);
+/// assert_eq!(table.leased_to(1), vec![1, 3]);
+///
+/// // Generation 2 completes (released), then replica 0 dies: only its
+/// // *outstanding* leases migrate to the survivor.
+/// table.release(2);
+/// let moves = table.reassign(0, &[1]);
+/// assert_eq!(moves, vec![(0, 1), (4, 1)]);
+/// assert_eq!(table.owner(2), None, "completed leases never migrate");
+/// assert_eq!(table.outstanding(), 4);
+/// ```
 #[derive(Debug, Clone)]
 pub struct LeaseTable {
     owner: Vec<Option<usize>>,
@@ -143,6 +162,31 @@ pub struct DeliverOutcome {
 /// concurrency: one mutex per generation (streams striping disjoint
 /// generations never block each other) and lock-free completion checks on
 /// the hot path.
+///
+/// # Example
+///
+/// ```
+/// use ltnc_scheme::{SchemeKind, SchemeParams};
+/// use ltnc_session::{SharedReceiver, SourceSession};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let params = SchemeParams::new(SchemeKind::Rlnc, 4, 8);
+/// let object: Vec<u8> = (0..64u8).collect(); // 2 generations of 4×8 B
+/// let mut source = SourceSession::new(&object, params);
+/// let receiver = SharedReceiver::new(*source.manifest());
+///
+/// // Any number of replica streams may call deliver() concurrently;
+/// // here one loop plays them all.
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// while !receiver.is_complete() {
+///     let (gen, packet) = source
+///         .make_packet(&mut rng, |g| !receiver.generation_complete(g))
+///         .expect("incomplete generations remain");
+///     receiver.deliver(gen, &packet);
+/// }
+/// assert_eq!(receiver.reassemble().unwrap(), object);
+/// ```
 pub struct SharedReceiver {
     manifest: ObjectManifest,
     nodes: Vec<Mutex<Box<dyn Scheme>>>,
@@ -360,6 +404,53 @@ mod tests {
         let mut table = LeaseTable::partition(4, 2);
         assert!(table.reassign(0, &[]).is_empty());
         assert_eq!(table.leased_to(0), vec![0, 2], "leases untouched");
+    }
+
+    #[test]
+    fn sole_survivor_inherits_every_outstanding_lease() {
+        // Two of three replicas die in sequence; the last one standing
+        // ends up owning everything still outstanding.
+        let mut table = LeaseTable::partition(7, 3);
+        table.release(1); // replica 1 finished one generation first
+        let first = table.reassign(1, &[0, 2]);
+        assert_eq!(first, vec![(4, 0)]);
+        let second = table.reassign(0, &[2]);
+        assert_eq!(second, vec![(0, 2), (3, 2), (4, 2), (6, 2)]);
+        assert_eq!(table.leased_to(2), vec![0, 2, 3, 4, 5, 6]);
+        assert_eq!(table.outstanding(), 6);
+        assert!(table.leased_to(0).is_empty());
+        assert!(table.leased_to(1).is_empty());
+    }
+
+    #[test]
+    fn re_lease_to_the_same_replica_is_allowed() {
+        // The striped client re-opens a fresh session on the same replica
+        // after a per-stream failure: `from` may appear among the
+        // survivors, and its generations then stay put but are reported
+        // as moves (the caller re-sends the steering COMPLETEs).
+        let mut table = LeaseTable::partition(4, 2);
+        let moves = table.reassign(0, &[0]);
+        assert_eq!(moves, vec![(0, 0), (2, 0)]);
+        assert_eq!(table.leased_to(0), vec![0, 2]);
+        assert_eq!(table.outstanding(), 4, "nothing lost in a self re-lease");
+    }
+
+    #[test]
+    fn release_of_never_leased_or_out_of_range_generations_is_idempotent() {
+        let mut table = LeaseTable::partition(3, 2);
+        // Out of range: generation 9 was never part of the object.
+        table.release(9);
+        assert_eq!(table.outstanding(), 3, "out-of-range release is a no-op");
+        // Double release of the same generation.
+        table.release(1);
+        table.release(1);
+        assert_eq!(table.outstanding(), 2);
+        assert_eq!(table.owner(1), None);
+        // A released generation named explicitly in a set reassignment is
+        // skipped, and unknown generations are ignored, not panicked on.
+        let moves = table.reassign_set(&[1, 9, 2], &[0]);
+        assert_eq!(moves, vec![(2, 0)]);
+        assert_eq!(table.owner(9), None);
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn multi_generation_config(scheme: SchemeKind) -> SwarmConfig {
         options: NodeOptions { seed: 0xBEEF ^ scheme.wire_id() as u64, ..NodeOptions::default() },
         timeout: Duration::from_secs(60),
         session: 0xAB_0000 + scheme.wire_id() as u64,
+        faults: None,
     }
 }
 
@@ -100,6 +101,7 @@ fn single_generation_object_and_tiny_payloads_work() {
         options: NodeOptions::default(),
         timeout: Duration::from_secs(60),
         session: 0xCAFE,
+        faults: None,
     };
     let report = run_localhost_swarm(&config).expect("swarm should start");
     assert_eq!(report.generations, 1);
