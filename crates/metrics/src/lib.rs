@@ -29,6 +29,7 @@
 mod cost;
 mod counters;
 mod histogram;
+mod hop;
 mod series;
 mod serve;
 mod stripe;
@@ -38,6 +39,7 @@ mod wire;
 pub use cost::{CostBreakdown, CostModel};
 pub use counters::{OpCounters, OpKind};
 pub use histogram::Histogram;
+pub use hop::{HopCounters, HopStats};
 pub use series::TimeSeries;
 pub use serve::ServeCounters;
 pub use stripe::{ReplicaCounters, StripeCounters};

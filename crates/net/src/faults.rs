@@ -21,7 +21,11 @@
 //!   window, and per-datagram delays. [`crate::peer::PeerNode`] runs all
 //!   its traffic through one, so the UDP gossip tests exercise exactly
 //!   the lossy links the paper's redundancy and this crate's adaptive
-//!   pacing exist for.
+//!   pacing exist for. On top of the default inbound plan, *per-link*
+//!   plans ([`FaultySocket::set_link_plan`]) override the fault rates for
+//!   one sender at a time, with per-link tallies
+//!   ([`FaultySocket::link_counters`]) — how the multi-hop topology
+//!   harness (`ltnc-topo`) gives every overlay link its own seeded loss.
 //!
 //! Byte-counted stream faults (`truncate_read_at`, `disconnect_read_at`)
 //! are deterministic regardless of how the OS chunks the stream, which is
@@ -30,7 +34,7 @@
 //! seed replays the same drop/duplicate/reorder pattern over the same
 //! traffic.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -686,6 +690,20 @@ struct FaultTotals {
     delayed_out: AtomicU64,
 }
 
+impl FaultTotals {
+    /// Folds one datagram's fault delta into the socket-wide totals.
+    fn add(&self, delta: &DatagramFaultCounters) {
+        self.dropped_in.fetch_add(delta.dropped_in, Ordering::Relaxed);
+        self.dropped_out.fetch_add(delta.dropped_out, Ordering::Relaxed);
+        self.duplicated_in.fetch_add(delta.duplicated_in, Ordering::Relaxed);
+        self.duplicated_out.fetch_add(delta.duplicated_out, Ordering::Relaxed);
+        self.reordered_in.fetch_add(delta.reordered_in, Ordering::Relaxed);
+        self.reordered_out.fetch_add(delta.reordered_out, Ordering::Relaxed);
+        self.delayed_in.fetch_add(delta.delayed_in, Ordering::Relaxed);
+        self.delayed_out.fetch_add(delta.delayed_out, Ordering::Relaxed);
+    }
+}
+
 /// A datagram held back by the reorder fault, released once `remaining`
 /// later datagrams have passed it (or the link goes idle).
 struct HeldDatagram {
@@ -724,6 +742,66 @@ impl DirectionState {
             let held = self.held.pop_front().expect("checked non-empty");
             self.ready.push_back((held.bytes, held.peer));
         }
+    }
+}
+
+/// One per-origin inbound override: its own plan state plus the faults it
+/// has injected (also folded into the socket-wide totals).
+struct LinkState {
+    dir: DirectionState,
+    counters: DatagramFaultCounters,
+}
+
+/// The whole inbound side of a [`FaultySocket`]: the default plan every
+/// datagram crosses, plus per-origin overrides keyed by sender address
+/// (ordered, so multi-link delivery and draining are deterministic).
+struct InboundState {
+    default: DirectionState,
+    links: BTreeMap<SocketAddr, LinkState>,
+}
+
+impl InboundState {
+    fn new(plan: DatagramFaultPlan) -> InboundState {
+        InboundState { default: DirectionState::new(plan), links: BTreeMap::new() }
+    }
+
+    /// `true` when no plan — default or per-link — can inject anything.
+    fn is_clean(&self) -> bool {
+        self.default.plan.is_clean() && self.links.is_empty()
+    }
+
+    /// The direction state (and per-link counters, if any) a datagram
+    /// from `from` must cross.
+    fn route(
+        &mut self,
+        from: SocketAddr,
+    ) -> (&mut DirectionState, Option<&mut DatagramFaultCounters>) {
+        if self.links.contains_key(&from) {
+            let link = self.links.get_mut(&from).expect("checked above");
+            (&mut link.dir, Some(&mut link.counters))
+        } else {
+            (&mut self.default, None)
+        }
+    }
+
+    /// Pops the oldest due datagram from any ready queue (default first,
+    /// then links in address order).
+    fn pop_ready(&mut self) -> Option<(Vec<u8>, SocketAddr)> {
+        if let Some(ready) = self.default.ready.pop_front() {
+            return Some(ready);
+        }
+        self.links.values_mut().find_map(|link| link.dir.ready.pop_front())
+    }
+
+    /// Pops one datagram still held for reordering (default first, then
+    /// links in address order) — the idle-link release path.
+    fn pop_held(&mut self) -> Option<(Vec<u8>, SocketAddr)> {
+        if let Some(held) = self.default.held.pop_front() {
+            return Some((held.bytes, held.peer));
+        }
+        self.links
+            .values_mut()
+            .find_map(|link| link.dir.held.pop_front().map(|h| (h.bytes, h.peer)))
     }
 }
 
@@ -767,7 +845,7 @@ impl DirectionState {
 /// ```
 pub struct FaultySocket {
     socket: UdpSocket,
-    recv: Arc<Mutex<DirectionState>>,
+    recv: Arc<Mutex<InboundState>>,
     send: Arc<Mutex<DirectionState>>,
     totals: Arc<FaultTotals>,
 }
@@ -782,10 +860,39 @@ impl FaultySocket {
     pub fn new(socket: UdpSocket, faults: DatagramFaults) -> io::Result<FaultySocket> {
         Ok(FaultySocket {
             socket,
-            recv: Arc::new(Mutex::new(DirectionState::new(faults.inbound))),
+            recv: Arc::new(Mutex::new(InboundState::new(faults.inbound))),
             send: Arc::new(Mutex::new(DirectionState::new(faults.outbound))),
             totals: Arc::new(FaultTotals::default()),
         })
+    }
+
+    /// Installs (or replaces) a dedicated inbound fault plan for
+    /// datagrams arriving *from* `from` — a per-link plan, where a link
+    /// is identified by its sender. Datagrams from other origins keep
+    /// crossing the socket's default inbound plan. Faults injected by a
+    /// link plan are tallied both socket-wide
+    /// ([`FaultySocket::fault_counters`]) and per link
+    /// ([`FaultySocket::link_counters`]), so per-link loss stays
+    /// attributable in multi-hop topology runs.
+    pub fn set_link_plan(&self, from: SocketAddr, plan: DatagramFaultPlan) {
+        let mut state = self.recv.lock().expect("recv fault state poisoned");
+        state.links.insert(
+            from,
+            LinkState {
+                dir: DirectionState::new(plan),
+                counters: DatagramFaultCounters::default(),
+            },
+        );
+    }
+
+    /// Faults injected per inbound link plan so far, ordered by sender
+    /// address (empty when [`FaultySocket::set_link_plan`] was never
+    /// called). Link faults are also included in
+    /// [`FaultySocket::fault_counters`].
+    #[must_use]
+    pub fn link_counters(&self) -> Vec<(SocketAddr, DatagramFaultCounters)> {
+        let state = self.recv.lock().expect("recv fault state poisoned");
+        state.links.iter().map(|(&from, link)| (from, link.counters)).collect()
     }
 
     /// A second handle to the same socket sharing the same fault state
@@ -848,10 +955,10 @@ impl FaultySocket {
     /// `WouldBlock` described above.
     pub fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
         let mut state = self.recv.lock().expect("recv fault state poisoned");
-        if let Some((bytes, peer)) = state.ready.pop_front() {
+        if let Some((bytes, peer)) = state.pop_ready() {
             return Ok(deliver(&bytes, peer, buf));
         }
-        if state.plan.is_clean() {
+        if state.is_clean() {
             let result = self.socket.recv_from(buf);
             if let Err(e) = &result {
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
@@ -864,34 +971,53 @@ impl FaultySocket {
         }
         match self.socket.recv_from(buf) {
             Ok((len, peer)) => {
-                state.age_held();
-                let plan = state.plan;
-                if plan.delay_rate > 0.0 && state.rng.gen_bool(plan.delay_rate) {
-                    self.totals.delayed_in.fetch_add(1, Ordering::Relaxed);
+                // Per-link plans shadow the default for their origin; the
+                // datagram crosses exactly one plan either way.
+                let (dir, link) = state.route(peer);
+                dir.age_held();
+                let plan = dir.plan;
+                let mut delta = DatagramFaultCounters::default();
+                let mut consumed = None;
+                if plan.delay_rate > 0.0 && dir.rng.gen_bool(plan.delay_rate) {
+                    delta.delayed_in += 1;
                     thread::sleep(plan.delay);
                 }
-                if plan.drop_rate > 0.0 && state.rng.gen_bool(plan.drop_rate) {
-                    self.totals.dropped_in.fetch_add(1, Ordering::Relaxed);
-                    return ready_or_would_block(&mut state, buf, "datagram dropped");
-                }
-                if plan.reorder_window > 0
+                if plan.drop_rate > 0.0 && dir.rng.gen_bool(plan.drop_rate) {
+                    delta.dropped_in += 1;
+                    consumed = Some("datagram dropped");
+                } else if plan.reorder_window > 0
                     && plan.reorder_rate > 0.0
-                    && state.rng.gen_bool(plan.reorder_rate)
+                    && dir.rng.gen_bool(plan.reorder_rate)
                 {
-                    self.totals.reordered_in.fetch_add(1, Ordering::Relaxed);
-                    let remaining = state.rng.gen_range(1..=plan.reorder_window);
-                    state.held.push_back(HeldDatagram {
+                    delta.reordered_in += 1;
+                    let remaining = dir.rng.gen_range(1..=plan.reorder_window);
+                    dir.held.push_back(HeldDatagram {
                         bytes: buf[..len].to_vec(),
                         peer,
                         remaining,
                     });
-                    return ready_or_would_block(&mut state, buf, "datagram held for reorder");
+                    consumed = Some("datagram held for reorder");
+                } else if plan.duplicate_rate > 0.0 && dir.rng.gen_bool(plan.duplicate_rate) {
+                    delta.duplicated_in += 1;
+                    dir.ready.push_back((buf[..len].to_vec(), peer));
                 }
-                if plan.duplicate_rate > 0.0 && state.rng.gen_bool(plan.duplicate_rate) {
-                    self.totals.duplicated_in.fetch_add(1, Ordering::Relaxed);
-                    state.ready.push_back((buf[..len].to_vec(), peer));
+                if let Some(link) = link {
+                    link.merge(&delta);
                 }
-                Ok((len, peer))
+                self.totals.add(&delta);
+                match consumed {
+                    None => Ok((len, peer)),
+                    // The arriving datagram was consumed (dropped, held):
+                    // hand out anything already due instead, else signal
+                    // the caller to retry.
+                    Some(reason) => match state.pop_ready() {
+                        Some((bytes, peer)) => Ok(deliver(&bytes, peer, buf)),
+                        None => Err(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            format!("fault injection: {reason}"),
+                        )),
+                    },
+                }
             }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -902,8 +1028,8 @@ impl FaultySocket {
                 // never stranded (a node that converged and stopped
                 // sending must not strand its final COMPLETEs).
                 self.flush_held_send();
-                match state.held.pop_front() {
-                    Some(held) => Ok(deliver(&held.bytes, held.peer, buf)),
+                match state.pop_held() {
+                    Some((bytes, peer)) => Ok(deliver(&bytes, peer, buf)),
                     None => Err(e),
                 }
             }
@@ -981,22 +1107,6 @@ fn deliver(bytes: &[u8], peer: SocketAddr, buf: &mut [u8]) -> (usize, SocketAddr
     let len = bytes.len().min(buf.len());
     buf[..len].copy_from_slice(&bytes[..len]);
     (len, peer)
-}
-
-/// After consuming an arriving datagram without delivering it (drop,
-/// hold), hand out a ready datagram if one is due, otherwise signal the
-/// caller to retry.
-fn ready_or_would_block(
-    state: &mut DirectionState,
-    buf: &mut [u8],
-    reason: &str,
-) -> io::Result<(usize, SocketAddr)> {
-    match state.ready.pop_front() {
-        Some((bytes, peer)) => Ok(deliver(&bytes, peer, buf)),
-        None => {
-            Err(io::Error::new(io::ErrorKind::WouldBlock, format!("fault injection: {reason}")))
-        }
-    }
 }
 
 #[cfg(test)]
@@ -1271,6 +1381,60 @@ mod tests {
         }
         drop(socket);
         assert_eq!(drain(), vec![5, 6, 7, 8], "drop must flush held sends");
+    }
+
+    #[test]
+    fn link_plans_shadow_the_default_per_origin() {
+        // Default plan clean; one sender gets a dedicated always-drop
+        // link plan — its datagrams die (and are tallied per link), the
+        // other sender's pass untouched.
+        let (socket, doomed, to) = socket_pair(DatagramFaults::clean(11));
+        let fine = UdpSocket::bind("127.0.0.1:0").expect("bind second sender");
+        socket.set_link_plan(
+            doomed.local_addr().expect("addr"),
+            DatagramFaultPlan::clean(12).drop_rate(1.0),
+        );
+
+        let mut buf = [0u8; 16];
+        for i in 0..6u8 {
+            doomed.send_to(&[i], to).expect("send doomed");
+            fine.send_to(&[0x40 + i], to).expect("send fine");
+        }
+        let mut seen = Vec::new();
+        let mut quiet = 0;
+        while quiet < 3 {
+            let before = std::time::Instant::now();
+            match socket.recv_from(&mut buf) {
+                Ok((1, _)) => seen.push(buf[0]),
+                Ok(_) => panic!("unexpected datagram length"),
+                Err(_) if before.elapsed() >= Duration::from_millis(30) => quiet += 1,
+                Err(_) => {}
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0x40..0x46).collect::<Vec<u8>>(), "only the clean link delivers");
+
+        let links = socket.link_counters();
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].0, doomed.local_addr().expect("addr"));
+        assert_eq!(links[0].1.dropped_in, 6, "link tally attributes the drops");
+        assert_eq!(socket.fault_counters().dropped_in, 6, "totals include link faults");
+    }
+
+    #[test]
+    fn link_reordering_releases_held_datagrams_on_idle() {
+        // A link plan that holds everything: the idle-release path must
+        // still hand the datagrams to the caller eventually.
+        let (socket, sender, to) = socket_pair(DatagramFaults::clean(13));
+        socket.set_link_plan(
+            sender.local_addr().expect("addr"),
+            DatagramFaultPlan::clean(14).reorder(1.0, 4),
+        );
+        let seen = pump_datagrams(&socket, &sender, to, 10);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<u8>>(), "per-link reorder must not lose");
+        assert!(socket.link_counters()[0].1.reordered_in > 0);
     }
 
     #[test]

@@ -37,7 +37,11 @@
 //! * [`swarm`] — one-call localhost orchestration used by the integration
 //!   tests and the `file_dissemination_udp` example, optionally running
 //!   every node behind seeded datagram faults
-//!   ([`swarm::SwarmConfig::faults`]).
+//!   ([`swarm::SwarmConfig::faults`]). The harness is wiring-generic
+//!   ([`swarm::run_wired_swarm`] over a [`swarm::SwarmWiring`] with
+//!   per-directed-link fault plans); the legacy full mesh is the trivial
+//!   wiring, and the declarative multi-hop topology layer on top lives
+//!   in the `ltnc-topo` crate.
 //!
 //! # Example
 //!
@@ -77,4 +81,4 @@ pub use faults::{
 pub use ltnc_session::{split_object, ObjectManifest, ReceiverSession, SourceSession};
 pub use peer::{NodeConfig, NodeOptions, NodeRole, PeerNode, PeerReport};
 pub use stream::FrameReassembler;
-pub use swarm::{run_localhost_swarm, SwarmConfig, SwarmReport};
+pub use swarm::{run_localhost_swarm, run_wired_swarm, SwarmConfig, SwarmReport, SwarmWiring};

@@ -34,6 +34,17 @@
 //! offer outcomes) are reported in [`PeerReport::loss_estimates`], and
 //! budget moves are counted in [`WireCounters`].
 //!
+//! The pending TTL itself is **latency-adaptive** by default: every
+//! feedback arrival is an offer→feedback RTT sample, and the TTL in
+//! force per peer is a multiple of that peer's RTT EWMA, clamped so the
+//! configured [`NodeOptions::pending_ttl`] stays the floor (and the
+//! fallback before any feedback has been measured). On localhost the
+//! derived TTL equals the floor; across slow or jittery links it grows
+//! with the measured round trip, so live offers are not declared lost —
+//! and budget slots not churned — by latency alone. Estimates are
+//! reported in [`PeerReport::rtt_estimates`];
+//! [`NodeOptions::adaptive_ttl`] switches the derivation off.
+//!
 //! All traffic runs through a [`FaultySocket`], so seeded datagram
 //! loss/reordering ([`PeerNode::spawn_faulty`]) exercises the same code
 //! paths as a clean socket ([`PeerNode::spawn`]).
@@ -64,7 +75,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::envelope::{self, Envelope, EnvelopeHeader, Message, MessageKind, GENERATION_OBJECT};
-use crate::faults::{DatagramFaultCounters, DatagramFaults, FaultySocket};
+use crate::faults::{DatagramFaultCounters, DatagramFaultPlan, DatagramFaults, FaultySocket};
 use crate::generation::{ObjectManifest, ReceiverSession, SourceSession};
 
 /// Smoothing factor of the per-peer loss EWMA (higher reacts faster).
@@ -73,6 +84,18 @@ const LOSS_EWMA_ALPHA: f64 = 0.1;
 /// Multiplicative-decrease factor applied to an adaptive budget when
 /// offers to a peer time out.
 const BUDGET_CUT_FACTOR: f64 = 0.5;
+
+/// Smoothing factor of the per-peer offer→feedback RTT EWMA.
+const RTT_EWMA_ALPHA: f64 = 0.2;
+
+/// Derived pending TTL as a multiple of the measured RTT: an offer is
+/// declared lost once several round trips have passed without feedback.
+const RTT_TTL_FACTOR: f64 = 4.0;
+
+/// Cap on the derived TTL relative to the configured
+/// [`NodeOptions::pending_ttl`] floor, so one absurd RTT sample cannot
+/// freeze eviction.
+const RTT_TTL_CEILING_FACTOR: u32 = 16;
 
 /// What a node is in the session.
 pub enum NodeRole {
@@ -112,8 +135,16 @@ pub struct NodeOptions {
     pub inflight_ceiling: usize,
     /// Gossip tick period.
     pub tick: Duration,
-    /// Offers not answered within this duration are forgotten.
+    /// Offers not answered within the pending TTL are forgotten. With
+    /// [`NodeOptions::adaptive_ttl`] on, this fixed value is the *floor*
+    /// (and the fallback before any feedback has been measured): the TTL
+    /// actually in force per peer is derived from the offer→feedback RTT
+    /// EWMA, clamped to `[pending_ttl, 16 × pending_ttl]`.
     pub pending_ttl: Duration,
+    /// Derive each peer's pending TTL (and the silence window of the
+    /// pacing budget) from its measured offer→feedback RTT. Off means the
+    /// fixed [`NodeOptions::pending_ttl`] everywhere, as before PR 5.
+    pub adaptive_ttl: bool,
     /// Capacity of the bounded inbound datagram queue.
     pub queue_capacity: usize,
     /// Seed of the node's deterministic RNG.
@@ -134,6 +165,19 @@ impl NodeOptions {
         let (floor, ceiling) = self.budget_bounds();
         (self.per_peer_inflight.max(1) as f64).clamp(floor, ceiling)
     }
+
+    /// The pending TTL in force for a peer with the given RTT estimate:
+    /// `RTT_TTL_FACTOR × rtt` clamped to `[pending_ttl, 16 × pending_ttl]`.
+    /// Without a measurement (or with [`NodeOptions::adaptive_ttl`] off)
+    /// the fixed [`NodeOptions::pending_ttl`] applies.
+    fn derived_ttl(&self, rtt_ewma: Option<f64>) -> Duration {
+        let floor = self.pending_ttl;
+        let Some(rtt) = rtt_ewma.filter(|_| self.adaptive_ttl) else {
+            return floor;
+        };
+        Duration::from_secs_f64((rtt * RTT_TTL_FACTOR).max(0.0))
+            .clamp(floor, floor.saturating_mul(RTT_TTL_CEILING_FACTOR))
+    }
 }
 
 impl Default for NodeOptions {
@@ -147,6 +191,7 @@ impl Default for NodeOptions {
             inflight_ceiling: 64,
             tick: Duration::from_millis(2),
             pending_ttl: Duration::from_millis(250),
+            adaptive_ttl: true,
             queue_capacity: 1024,
             seed: 0xC0DE,
         }
@@ -184,6 +229,15 @@ pub struct PeerReport {
     /// Final per-peer loss estimates (EWMA over offer outcomes: feedback
     /// arrived = 0, offer timed out = 1), sorted by peer address.
     pub loss_estimates: Vec<(SocketAddr, f64)>,
+    /// Final per-peer offer→feedback RTT estimates (EWMA over measured
+    /// round trips; peers that never answered are absent), sorted by peer
+    /// address. With [`NodeOptions::adaptive_ttl`] on, each peer's
+    /// pending TTL was derived from this estimate.
+    pub rtt_estimates: Vec<(SocketAddr, Duration)>,
+    /// Faults injected per inbound link plan
+    /// ([`PeerNode::set_link_faults`]), keyed by sender address — the
+    /// per-link attribution of [`PeerReport::faults`] in topology runs.
+    pub link_faults: Vec<(SocketAddr, DatagramFaultCounters)>,
 }
 
 enum Control {
@@ -201,6 +255,10 @@ struct Shared {
 /// Handle to a running peer actor.
 pub struct PeerNode {
     local_addr: SocketAddr,
+    /// A handle onto the node's socket sharing the threads' fault state,
+    /// kept so link plans can be installed after spawn (addresses are
+    /// only known once every node of a topology is bound).
+    socket: FaultySocket,
     control: mpsc::Sender<Control>,
     shared: Arc<Shared>,
     actor: JoinHandle<PeerReport>,
@@ -263,12 +321,29 @@ impl PeerNode {
             thread::spawn(move || socket_loop(&socket, &event_tx, &shared))
         };
 
+        let handle = socket.try_clone()?;
         let actor = {
             let shared = Arc::clone(&shared);
             thread::spawn(move || Actor::new(socket, config, shared).run(&event_rx, &control_rx))
         };
 
-        Ok(PeerNode { local_addr, control: control_tx, shared, actor, socket_thread })
+        Ok(PeerNode {
+            local_addr,
+            socket: handle,
+            control: control_tx,
+            shared,
+            actor,
+            socket_thread,
+        })
+    }
+
+    /// Installs a dedicated inbound fault plan for datagrams arriving
+    /// from `from` — one overlay *link* of a topology, identified by its
+    /// sender. Overrides the node's default inbound plan for that origin
+    /// only; injected faults are tallied per link in
+    /// [`PeerReport::link_faults`] (and in [`PeerReport::faults`]).
+    pub fn set_link_faults(&self, from: SocketAddr, plan: DatagramFaultPlan) {
+        self.socket.set_link_plan(from, plan);
     }
 
     /// The socket address this node receives on.
@@ -349,13 +424,16 @@ struct PendingTransfer {
     born: Instant,
 }
 
-/// Adaptive pacing state for one peer: the AIMD budget and the loss
-/// estimate driving it.
+/// Adaptive pacing state for one peer: the AIMD budget and the loss and
+/// RTT estimates driving it.
 struct PeerPacing {
     /// Fractional in-flight budget; its integer part is the cap.
     budget: f64,
     /// EWMA over offer outcomes (feedback = 0, timeout = 1).
     loss_ewma: f64,
+    /// EWMA over measured offer→feedback round trips, in seconds; `None`
+    /// until the first feedback arrives. Drives the derived pending TTL.
+    rtt_ewma: Option<f64>,
     /// Last time any feedback arrived from this peer — the aliveness
     /// signal that separates "lossy link" (raise) from "dead peer" (cut).
     last_feedback: Option<Instant>,
@@ -485,6 +563,14 @@ impl Actor {
         let mut loss_estimates: Vec<(SocketAddr, f64)> =
             self.pacing.iter().map(|(&peer, pacing)| (peer, pacing.loss_ewma)).collect();
         loss_estimates.sort_by_key(|&(peer, _)| peer);
+        let mut rtt_estimates: Vec<(SocketAddr, Duration)> = self
+            .pacing
+            .iter()
+            .filter_map(|(&peer, pacing)| {
+                pacing.rtt_ewma.map(|rtt| (peer, Duration::from_secs_f64(rtt.max(0.0))))
+            })
+            .collect();
+        rtt_estimates.sort_by_key(|&(peer, _)| peer);
         PeerReport {
             wire: self.wire,
             complete,
@@ -494,13 +580,15 @@ impl Actor {
             recoding,
             faults: self.socket.fault_counters(),
             loss_estimates,
+            rtt_estimates,
+            link_faults: self.socket.link_counters(),
         }
     }
 
     /// Records the outcome of one offer to `peer` — feedback arrived
-    /// (`success`, whatever the verdict) or the offer died at its TTL —
-    /// updating the loss estimate and, when adaptive pacing is on, the
-    /// AIMD budget.
+    /// after `rtt` (whatever the verdict), or `None`: the offer died at
+    /// its TTL — updating the loss and RTT estimates and, when adaptive
+    /// pacing is on, the AIMD budget.
     ///
     /// The asymmetry is deliberate and opposite to TCP's: loss here is
     /// *erasure*, not congestion. A timed-out offer to a peer that is
@@ -510,19 +598,25 @@ impl Actor {
     /// loss, as in the paper). Only a peer gone entirely silent for a TTL
     /// triggers the multiplicative decrease, throttling offers to the
     /// dead until the floor.
-    fn note_outcome(&mut self, peer: SocketAddr, success: bool) {
+    fn note_outcome(&mut self, peer: SocketAddr, rtt: Option<Duration>) {
         let options = self.options;
         let (floor, ceiling) = options.budget_bounds();
         let base = options.initial_budget();
         let pacing = self.pacing.entry(peer).or_insert_with(|| PeerPacing {
             budget: base,
             loss_ewma: 0.0,
+            rtt_ewma: None,
             last_feedback: None,
             last_cut: None,
         });
-        let observed = if success { 0.0 } else { 1.0 };
+        let observed = if rtt.is_some() { 0.0 } else { 1.0 };
         pacing.loss_ewma += LOSS_EWMA_ALPHA * (observed - pacing.loss_ewma);
-        if success {
+        if let Some(rtt) = rtt {
+            let sample = rtt.as_secs_f64();
+            pacing.rtt_ewma = Some(match pacing.rtt_ewma {
+                Some(ewma) => ewma + RTT_EWMA_ALPHA * (sample - ewma),
+                None => sample,
+            });
             pacing.last_feedback = Some(Instant::now());
             // A peer cut for silence that answers again recovers: grow
             // back toward the initial budget (never past it — raising
@@ -542,7 +636,8 @@ impl Actor {
             return;
         }
         let before = pacing.budget as usize;
-        let alive = pacing.last_feedback.is_some_and(|at| at.elapsed() < options.pending_ttl);
+        let ttl = options.derived_ttl(pacing.rtt_ewma);
+        let alive = pacing.last_feedback.is_some_and(|at| at.elapsed() < ttl);
         if alive {
             // Lossy but live: the lost offer wasted one slot for a full
             // TTL; grow the budget by one to keep the live pipeline deep.
@@ -550,7 +645,7 @@ impl Actor {
             if pacing.budget as usize > before {
                 self.wire.budget_raises += 1;
             }
-        } else if pacing.last_cut.is_none_or(|at| at.elapsed() >= options.pending_ttl) {
+        } else if pacing.last_cut.is_none_or(|at| at.elapsed() >= ttl) {
             // Silent for a whole TTL: multiplicative decrease, at most
             // once per window, down to the floor.
             pacing.last_cut = Some(Instant::now());
@@ -559,6 +654,14 @@ impl Actor {
                 self.wire.budget_cuts += 1;
             }
         }
+    }
+
+    /// The pending TTL currently in force for offers to `peer`: derived
+    /// from its RTT estimate when [`NodeOptions::adaptive_ttl`] is on
+    /// (fixed [`NodeOptions::pending_ttl`] as the floor and the fallback
+    /// before any feedback has been measured).
+    fn ttl_for(&self, peer: &SocketAddr) -> Duration {
+        self.options.derived_ttl(self.pacing.get(peer).and_then(|pacing| pacing.rtt_ewma))
     }
 
     /// The in-flight cap currently in force for `peer`.
@@ -660,8 +763,9 @@ impl Actor {
                     *count = count.saturating_sub(1);
                 }
                 // Either verdict proves the offer/feedback round trip
-                // survived the link — a success for pacing purposes.
-                self.note_outcome(pending.to, true);
+                // survived the link — a success for pacing purposes, and
+                // an RTT sample for the derived TTL.
+                self.note_outcome(pending.to, Some(pending.born.elapsed()));
                 if accept {
                     self.wire.transfers_delivered += 1;
                     self.send(
@@ -733,11 +837,10 @@ impl Actor {
     }
 
     fn evict_stale_pending(&mut self) {
-        let ttl = self.options.pending_ttl;
         let expired: Vec<u64> = self
             .pending
             .iter()
-            .filter(|(_, pending)| pending.born.elapsed() >= ttl)
+            .filter(|(_, pending)| pending.born.elapsed() >= self.ttl_for(&pending.to))
             .map(|(&transfer, _)| transfer)
             .collect();
         for transfer in expired {
@@ -746,7 +849,7 @@ impl Actor {
                 *count = count.saturating_sub(1);
             }
             self.wire.offer_timeouts += 1;
-            self.note_outcome(pending.to, false);
+            self.note_outcome(pending.to, None);
         }
     }
 
@@ -1016,7 +1119,7 @@ mod tests {
 
         // Dead period: timeouts with no feedback, one cut per TTL window.
         for _ in 0..12 {
-            actor.note_outcome(peer, false);
+            actor.note_outcome(peer, None);
             thread::sleep(Duration::from_millis(2));
         }
         assert_eq!(actor.inflight_cap(&peer), options.inflight_floor.max(1));
@@ -1024,13 +1127,13 @@ mod tests {
 
         // Revival on a clean link: successes alone restore the base cap.
         for _ in 0..64 {
-            actor.note_outcome(peer, true);
+            actor.note_outcome(peer, Some(Duration::from_micros(50)));
         }
         assert_eq!(actor.inflight_cap(&peer), options.per_peer_inflight);
         assert!(actor.wire.budget_raises > 0, "recovery must count as raises");
 
         // A timeout while the peer is alive grows the budget *past* base.
-        actor.note_outcome(peer, false);
+        actor.note_outcome(peer, None);
         assert_eq!(actor.inflight_cap(&peer), options.per_peer_inflight + 1);
     }
 
@@ -1047,7 +1150,7 @@ mod tests {
         };
         let mut actor = pacing_actor(over);
         assert_eq!(actor.inflight_cap(&peer), 8, "untracked peer clamps to ceiling");
-        actor.note_outcome(peer, true);
+        actor.note_outcome(peer, Some(Duration::from_micros(50)));
         assert_eq!(actor.inflight_cap(&peer), 8, "tracked peer starts clamped");
         assert_eq!(actor.wire.budget_raises, 0, "clamping is not a raise");
 
@@ -1060,8 +1163,60 @@ mod tests {
         };
         let mut actor = pacing_actor(under);
         assert_eq!(actor.inflight_cap(&peer), 4, "untracked peer clamps to floor");
-        actor.note_outcome(peer, true);
+        actor.note_outcome(peer, Some(Duration::from_micros(50)));
         assert_eq!(actor.inflight_cap(&peer), 4, "tracked peer starts clamped");
+    }
+
+    #[test]
+    fn pending_ttl_derives_from_the_rtt_ewma() {
+        let options = NodeOptions {
+            pending_ttl: Duration::from_millis(10),
+            seed: 16,
+            ..NodeOptions::default()
+        };
+        let mut actor = pacing_actor(options);
+        let peer: SocketAddr = "127.0.0.1:9".parse().expect("addr");
+
+        // No feedback measured yet: the fixed TTL is the fallback.
+        assert_eq!(actor.ttl_for(&peer), Duration::from_millis(10));
+
+        // Localhost-fast feedback: the floor still applies.
+        actor.note_outcome(peer, Some(Duration::from_micros(80)));
+        assert_eq!(actor.ttl_for(&peer), Duration::from_millis(10));
+
+        // A slow link: the TTL tracks 4× the RTT EWMA…
+        for _ in 0..64 {
+            actor.note_outcome(peer, Some(Duration::from_millis(50)));
+        }
+        let ttl = actor.ttl_for(&peer);
+        assert!(ttl > Duration::from_millis(100), "TTL must grow with RTT, got {ttl:?}");
+        // …but never past 16× the configured floor.
+        for _ in 0..64 {
+            actor.note_outcome(peer, Some(Duration::from_secs(30)));
+        }
+        assert_eq!(actor.ttl_for(&peer), Duration::from_millis(160), "ceiling caps the TTL");
+
+        // The estimate surfaces in the report.
+        let report = actor.into_report();
+        let (reported_peer, rtt) = report.rtt_estimates.first().expect("rtt tracked");
+        assert_eq!(*reported_peer, peer);
+        assert!(*rtt > Duration::from_millis(100));
+    }
+
+    #[test]
+    fn fixed_ttl_when_adaptive_ttl_is_off() {
+        let options = NodeOptions {
+            pending_ttl: Duration::from_millis(10),
+            adaptive_ttl: false,
+            seed: 17,
+            ..NodeOptions::default()
+        };
+        let mut actor = pacing_actor(options);
+        let peer: SocketAddr = "127.0.0.1:9".parse().expect("addr");
+        for _ in 0..32 {
+            actor.note_outcome(peer, Some(Duration::from_millis(200)));
+        }
+        assert_eq!(actor.ttl_for(&peer), Duration::from_millis(10));
     }
 
     #[test]

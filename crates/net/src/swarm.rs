@@ -2,15 +2,26 @@
 //!
 //! This is the harness both the integration tests and the
 //! `file_dissemination_udp` example drive: it spawns every node on an
-//! ephemeral `127.0.0.1` port, wires the peer lists (the source pushes to
-//! every peer; peers gossip among themselves and never push back at the
-//! source), waits for convergence, shuts everything down gracefully and
-//! verifies the reconstruction bit for bit.
+//! ephemeral `127.0.0.1` port, wires the peer lists, waits for
+//! convergence, shuts everything down gracefully and verifies the
+//! reconstruction bit for bit.
+//!
+//! Since PR 5 the harness is *wiring-generic*: [`run_wired_swarm`] takes
+//! a [`SwarmWiring`] — per-node push-target sets plus optional
+//! per-directed-link inbound fault plans — so arbitrary overlay
+//! topologies run through the same code path. The legacy full mesh (the
+//! source pushes to every peer; peers gossip among themselves and never
+//! push back at the source) is the trivial wiring
+//! ([`SwarmWiring::full_mesh`]), and [`run_localhost_swarm`] is exactly
+//! that special case. The declarative topology layer lives one crate up,
+//! in `ltnc-topo`.
 //!
 //! With [`SwarmConfig::faults`] set, every node's socket is wrapped in a
 //! [`crate::faults::FaultySocket`] whose plans are re-seeded per node
 //! from the one template — a whole swarm of lossy, reordering links from
-//! a single seed, replayable by fixing that seed.
+//! a single seed, replayable by fixing that seed. Link-level plans from
+//! the wiring are installed on top, shadowing the node default for their
+//! origin.
 
 use std::io;
 use std::net::SocketAddr;
@@ -20,7 +31,7 @@ use std::time::{Duration, Instant};
 use ltnc_metrics::WireCounters;
 use ltnc_scheme::{SchemeKind, SchemeParams};
 
-use crate::faults::{DatagramFaultCounters, DatagramFaults};
+use crate::faults::{DatagramFaultCounters, DatagramFaultPlan, DatagramFaults};
 use crate::generation::split_object;
 use crate::peer::{NodeConfig, NodeOptions, NodeRole, PeerNode, PeerReport};
 
@@ -68,6 +79,62 @@ impl SwarmConfig {
     }
 }
 
+/// How the nodes of a swarm are wired together.
+///
+/// Node 0 is always the source; peers are `1..=peers`. The wiring names,
+/// per node, the nodes it *pushes* to (offers transfers to — receiving
+/// is governed by the sender's set, not the receiver's), plus optional
+/// per-directed-link inbound fault plans installed once every node's
+/// ephemeral address is known.
+#[derive(Debug, Clone)]
+pub struct SwarmWiring {
+    /// `push_targets[i]` = swarm indices node `i` offers transfers to.
+    /// Must have one entry per node (`peers + 1`), no self-loops, all
+    /// indices in range.
+    pub push_targets: Vec<Vec<usize>>,
+    /// Per-directed-link fault plans `(from, to, plan)`: installed on
+    /// `to`'s socket keyed by `from`'s address
+    /// ([`PeerNode::set_link_faults`]), shadowing `to`'s default inbound
+    /// plan for datagrams from `from` — and tallied per link in
+    /// [`PeerReport::link_faults`].
+    pub link_faults: Vec<(usize, usize, DatagramFaultPlan)>,
+}
+
+impl SwarmWiring {
+    /// The legacy full mesh: the source pushes to every peer, every peer
+    /// pushes to every other peer (and never back at the all-knowing
+    /// source).
+    #[must_use]
+    pub fn full_mesh(peers: usize) -> SwarmWiring {
+        let mut push_targets = Vec::with_capacity(peers + 1);
+        push_targets.push((1..=peers).collect());
+        for i in 1..=peers {
+            push_targets.push((1..=peers).filter(|&j| j != i).collect());
+        }
+        SwarmWiring { push_targets, link_faults: Vec::new() }
+    }
+
+    /// Panics with a clear message when the wiring is malformed for a
+    /// swarm of `nodes` total nodes.
+    fn validate(&self, nodes: usize) {
+        assert_eq!(
+            self.push_targets.len(),
+            nodes,
+            "wiring must name push targets for every node (source included)"
+        );
+        for (i, targets) in self.push_targets.iter().enumerate() {
+            for &j in targets {
+                assert!(j < nodes, "node {i} pushes to out-of-range node {j}");
+                assert_ne!(i, j, "node {i} must not push to itself");
+            }
+        }
+        for &(from, to, _) in &self.link_faults {
+            assert!(from < nodes && to < nodes, "link fault ({from}→{to}) out of range");
+            assert_ne!(from, to, "link fault ({from}→{to}) is a self-loop");
+        }
+    }
+}
+
 /// Outcome of a swarm run.
 #[derive(Debug)]
 pub struct SwarmReport {
@@ -85,16 +152,40 @@ pub struct SwarmReport {
     pub generations: u32,
     /// Wire counters summed over the source and all peers.
     pub total_wire: WireCounters,
-    /// The source's own wire counters.
-    pub source_wire: WireCounters,
+    /// The source's full report (wire counters, recoding cost, injected
+    /// faults and per-link tallies); each peer's is in
+    /// [`SwarmReport::peer_reports`].
+    pub source_report: PeerReport,
     /// Injected-fault totals summed over every node's socket (all zero
     /// for a clean run).
     pub total_faults: DatagramFaultCounters,
-    /// Per-peer reports (source excluded).
+    /// Every node's bound address, swarm-indexed (0 = source) — what
+    /// maps the address-keyed per-link tallies back to nodes.
+    pub node_addrs: Vec<SocketAddr>,
+    /// Per-peer reports (source excluded; swarm node `i` is
+    /// `peer_reports[i - 1]`).
     pub peer_reports: Vec<PeerReport>,
 }
 
-/// Runs a full dissemination on localhost UDP and returns the report.
+impl SwarmReport {
+    /// Injected-fault counters per node, swarm-indexed (0 = source) —
+    /// the per-node attribution the aggregate
+    /// [`SwarmReport::total_faults`] flattens away.
+    #[must_use]
+    pub fn node_faults(&self) -> Vec<DatagramFaultCounters> {
+        std::iter::once(self.source_report.faults)
+            .chain(self.peer_reports.iter().map(|report| report.faults))
+            .collect()
+    }
+
+    /// Every node's full report, swarm-indexed (0 = source).
+    pub fn node_reports(&self) -> impl Iterator<Item = &PeerReport> + '_ {
+        std::iter::once(&self.source_report).chain(self.peer_reports.iter())
+    }
+}
+
+/// Runs a full dissemination on localhost UDP with the legacy full-mesh
+/// wiring and returns the report.
 ///
 /// # Errors
 ///
@@ -105,7 +196,26 @@ pub struct SwarmReport {
 ///
 /// Panics when `config.peers == 0`.
 pub fn run_localhost_swarm(config: &SwarmConfig) -> io::Result<SwarmReport> {
+    run_wired_swarm(config, &SwarmWiring::full_mesh(config.peers))
+}
+
+/// Runs a full dissemination on localhost UDP under an arbitrary
+/// [`SwarmWiring`] — the general harness every overlay topology lowers
+/// to — and returns the report.
+///
+/// # Errors
+///
+/// Propagates socket setup failures; protocol-level problems surface as
+/// `converged = false` / `bit_exact = false` instead of errors.
+///
+/// # Panics
+///
+/// Panics when `config.peers == 0` or the wiring is malformed (wrong
+/// node count, out-of-range indices, self-loops).
+pub fn run_wired_swarm(config: &SwarmConfig, wiring: &SwarmWiring) -> io::Result<SwarmReport> {
     assert!(config.peers > 0, "a swarm needs at least one peer");
+    let node_count = config.peers + 1;
+    wiring.validate(node_count);
     let params = SchemeParams::new(config.scheme, config.code_length, config.payload_size);
     let manifest = split_object(&config.object, params).0;
     let bind: SocketAddr = "127.0.0.1:0".parse().expect("valid address");
@@ -117,68 +227,65 @@ pub fn run_localhost_swarm(config: &SwarmConfig) -> io::Result<SwarmReport> {
         None => DatagramFaults::clean(config.options.seed ^ index),
     };
 
-    let source = PeerNode::spawn_faulty(
-        bind,
-        NodeConfig {
-            session: config.session,
-            role: NodeRole::Source { object: config.object.clone(), params },
-            options: NodeOptions { seed: config.options.seed ^ 0xD15E, ..config.options },
-        },
-        node_faults(0),
-    )?;
-
-    let mut peers = Vec::with_capacity(config.peers);
-    for i in 0..config.peers {
+    let mut nodes: Vec<PeerNode> = Vec::with_capacity(node_count);
+    for i in 0..node_count {
+        let role = if i == 0 {
+            NodeRole::Source { object: config.object.clone(), params }
+        } else {
+            NodeRole::Peer { manifest }
+        };
+        let seed = if i == 0 {
+            config.options.seed ^ 0xD15E
+        } else {
+            config.options.seed.wrapping_add(i as u64)
+        };
         let spawned = PeerNode::spawn_faulty(
             bind,
             NodeConfig {
                 session: config.session,
-                role: NodeRole::Peer { manifest },
-                options: NodeOptions {
-                    seed: config.options.seed.wrapping_add(1 + i as u64),
-                    ..config.options
-                },
+                role,
+                options: NodeOptions { seed, ..config.options },
             },
-            node_faults(1 + i as u64),
+            node_faults(i as u64),
         );
         match spawned {
-            Ok(peer) => peers.push(peer),
+            Ok(node) => nodes.push(node),
             Err(e) => {
                 // Tear down everything already running: leaked nodes would
                 // keep their socket and actor threads spinning for the
                 // rest of the process.
-                let _ = source.shutdown();
-                for peer in peers {
-                    let _ = peer.shutdown();
+                for node in nodes {
+                    let _ = node.shutdown();
                 }
                 return Err(e);
             }
         }
     }
 
-    let peer_addrs: Vec<SocketAddr> = peers.iter().map(PeerNode::local_addr).collect();
-    // The source pushes to every peer; each peer gossips with the others
-    // (and has no reason to push toward the all-knowing source).
-    source.set_peers(peer_addrs.clone());
-    for (i, peer) in peers.iter().enumerate() {
-        let others: Vec<SocketAddr> = peer_addrs
-            .iter()
-            .copied()
-            .enumerate()
-            .filter_map(|(j, addr)| (j != i).then_some(addr))
-            .collect();
-        peer.set_peers(others);
+    let node_addrs: Vec<SocketAddr> = nodes.iter().map(PeerNode::local_addr).collect();
+    // Link plans go in before any node starts gossiping (set_peers is the
+    // starting gun): a plan landing after the first offers would let
+    // early datagrams cross the link un-faulted, breaking both partition
+    // wirings and the replay-by-seed guarantee.
+    for &(from, to, plan) in &wiring.link_faults {
+        nodes[to].set_link_faults(node_addrs[from], plan);
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        let targets: Vec<SocketAddr> =
+            wiring.push_targets[i].iter().map(|&j| node_addrs[j]).collect();
+        node.set_peers(targets);
     }
 
     let started = Instant::now();
     let deadline = started + config.timeout;
-    while peers.iter().any(|p| !p.is_complete()) && Instant::now() < deadline {
+    while nodes[1..].iter().any(|p| !p.is_complete()) && Instant::now() < deadline {
         thread::sleep(Duration::from_millis(5));
     }
     let elapsed = started.elapsed();
 
-    let source_report = source.shutdown();
-    let peer_reports: Vec<PeerReport> = peers.into_iter().map(PeerNode::shutdown).collect();
+    let mut reports = nodes.into_iter().map(PeerNode::shutdown);
+    let source_report = reports.next().expect("the source exists");
+    let peer_reports: Vec<PeerReport> = reports.collect();
 
     let peers_complete = peer_reports.iter().filter(|r| r.complete).count();
     let converged = peers_complete == config.peers;
@@ -202,8 +309,9 @@ pub fn run_localhost_swarm(config: &SwarmConfig) -> io::Result<SwarmReport> {
         bit_exact,
         generations: manifest.generation_count(),
         total_wire,
-        source_wire: source_report.wire,
+        source_report,
         total_faults,
+        node_addrs,
         peer_reports,
     })
 }
@@ -211,6 +319,7 @@ pub fn run_localhost_swarm(config: &SwarmConfig) -> io::Result<SwarmReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::DatagramFaultPlan;
 
     #[test]
     fn two_peer_swarm_converges_quickly() {
@@ -224,5 +333,56 @@ mod tests {
         assert!(report.bit_exact);
         assert_eq!(report.peers_complete, 2);
         assert!(report.total_wire.transfers_delivered > 0);
+        assert_eq!(report.node_addrs.len(), 3);
+        assert_eq!(report.node_faults().len(), 3);
+    }
+
+    #[test]
+    fn full_mesh_wiring_matches_the_legacy_shape() {
+        let wiring = SwarmWiring::full_mesh(3);
+        assert_eq!(wiring.push_targets[0], vec![1, 2, 3], "source pushes to every peer");
+        assert_eq!(wiring.push_targets[1], vec![2, 3], "peers skip themselves and the source");
+        assert_eq!(wiring.push_targets[2], vec![1, 3]);
+        assert_eq!(wiring.push_targets[3], vec![1, 2]);
+        assert!(wiring.link_faults.is_empty());
+    }
+
+    #[test]
+    fn wired_swarm_respects_a_line_and_attributes_link_faults() {
+        // A 2-hop line S → P1 → P2 with a 20%-drop plan on the relay →
+        // far-peer link — the only path the far peer has. The run must
+        // still converge through the lossy relay hop, and the link tally
+        // must land on the far peer's report, keyed by the relay.
+        let object: Vec<u8> = (0..600u32).map(|i| (i * 31 % 256) as u8).collect();
+        let mut config = SwarmConfig::quick(SchemeKind::Rlnc, object);
+        config.peers = 2;
+        config.code_length = 8;
+        config.payload_size = 16;
+        let wiring = SwarmWiring {
+            push_targets: vec![vec![1], vec![2], vec![1]],
+            link_faults: vec![(1, 2, DatagramFaultPlan::clean(77).drop_rate(0.2))],
+        };
+        let report = run_wired_swarm(&config, &wiring).expect("swarm runs");
+        assert!(report.converged, "line swarm did not converge: {report:?}");
+        assert!(report.bit_exact);
+        // The far peer (swarm node 2) carries the per-link tally, keyed
+        // by the relay's address.
+        let far = &report.peer_reports[1];
+        assert_eq!(far.link_faults.len(), 1);
+        assert_eq!(far.link_faults[0].0, report.node_addrs[1]);
+        assert!(far.link_faults[0].1.dropped_in > 0, "20% link loss must drop something");
+        // And the relay actually relayed: it recoded packets it never
+        // originated.
+        assert!(report.peer_reports[0].recoding.total_ops() > 0, "relay must recode");
+    }
+
+    #[test]
+    #[should_panic(expected = "push targets for every node")]
+    fn malformed_wiring_is_rejected() {
+        let object = vec![1u8; 64];
+        let mut config = SwarmConfig::quick(SchemeKind::Wc, object);
+        config.peers = 2;
+        let wiring = SwarmWiring { push_targets: vec![vec![1]], link_faults: Vec::new() };
+        let _ = run_wired_swarm(&config, &wiring);
     }
 }
