@@ -62,6 +62,7 @@ fn config(adaptive: bool, loss: f64) -> SwarmConfig {
         timeout: Duration::from_secs(120),
         session: 0x9ACE,
         faults: lossy(loss),
+        trace_capacity: None,
     }
 }
 
@@ -92,5 +93,35 @@ fn bench_pacing(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_pacing);
+/// Telemetry overhead A/B: the same lossy adaptive dissemination with
+/// the trace hooks disarmed (no sink — every `Tracer::emit` is an
+/// `Option` check that never builds its event) versus armed with a
+/// bounded ring sink per node. The no-sink variant must sit within noise
+/// (≤ 2% goodput) of the pre-telemetry baseline; the armed variant
+/// measures what full event capture actually costs.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pacing/tracing");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(8))
+        .throughput(Throughput::Bytes(OBJECT_LEN as u64));
+    for (name, capacity) in [("no_sink", None), ("ring_sink", Some(65_536))] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut config = config(true, 0.20);
+                config.trace_capacity = capacity;
+                let report = run_localhost_swarm(&config).expect("swarm runs");
+                assert!(
+                    report.converged && report.bit_exact,
+                    "tracing/{name}: swarm failed to converge"
+                );
+                report.elapsed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pacing, bench_tracing_overhead);
 criterion_main!(benches);

@@ -57,6 +57,7 @@ fn config(scheme: SchemeKind, hops: usize, loss: f64) -> TopologyConfig {
         session: 0x40B_0000 + u64::from(scheme.wire_id()),
         link_faults: TopologyFaults::uniform(DatagramFaultPlan::clean(FAULT_SEED).drop_rate(loss)),
         node_faults: None,
+        trace_capacity: None,
     }
 }
 

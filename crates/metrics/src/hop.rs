@@ -41,6 +41,20 @@ impl HopStats {
         self.useful_deliveries += other.useful_deliveries;
         self.faults_injected += other.faults_injected;
     }
+
+    /// Everything that happened since `earlier`, field by field
+    /// (saturating at zero).
+    #[must_use]
+    pub fn snapshot_delta(&self, earlier: &HopStats) -> HopStats {
+        HopStats {
+            nodes: self.nodes.saturating_sub(earlier.nodes),
+            completed: self.completed.saturating_sub(earlier.completed),
+            recoding_ops: self.recoding_ops.saturating_sub(earlier.recoding_ops),
+            decoding_ops: self.decoding_ops.saturating_sub(earlier.decoding_ops),
+            useful_deliveries: self.useful_deliveries.saturating_sub(earlier.useful_deliveries),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+        }
+    }
 }
 
 /// Per-hop-distance rollup of a multi-hop dissemination.
@@ -91,6 +105,33 @@ impl HopCounters {
     pub fn merge(&mut self, other: &HopCounters) {
         for (distance, stats) in other.buckets.iter().enumerate() {
             self.record(distance, stats);
+        }
+    }
+
+    /// Everything that happened since `earlier`, bucket by bucket
+    /// (saturating at zero per field). Buckets only present now pass
+    /// through whole; `earlier`'s extra buckets are ignored, matching the
+    /// scalar saturation rule.
+    ///
+    /// ```
+    /// use ltnc_metrics::{HopCounters, HopStats};
+    ///
+    /// let mut earlier = HopCounters::new();
+    /// earlier.record(1, &HopStats { nodes: 2, useful_deliveries: 10, ..HopStats::default() });
+    /// let mut now = earlier.clone();
+    /// now.record(1, &HopStats { useful_deliveries: 5, ..HopStats::default() });
+    /// assert_eq!(now.snapshot_delta(&earlier).get(1).useful_deliveries, 5);
+    /// ```
+    #[must_use]
+    pub fn snapshot_delta(&self, earlier: &HopCounters) -> HopCounters {
+        let blank = HopStats::default();
+        HopCounters {
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(d, bucket)| bucket.snapshot_delta(earlier.buckets.get(d).unwrap_or(&blank)))
+                .collect(),
         }
     }
 
@@ -194,6 +235,30 @@ mod tests {
         assert_eq!(a.get(4).nodes, 1);
         assert_eq!(a.total().nodes, 4);
         assert_eq!(a.total().completed, 3);
+    }
+
+    #[test]
+    fn snapshot_delta_is_bucketwise_and_saturating() {
+        let mut earlier = HopCounters::new();
+        earlier.record(0, &stats(1, 1));
+        earlier.record(1, &stats(2, 1));
+        let mut now = earlier.clone();
+        now.record(1, &HopStats { completed: 1, useful_deliveries: 7, ..HopStats::default() });
+        now.record(2, &stats(3, 2));
+
+        let delta = now.snapshot_delta(&earlier);
+        assert_eq!(delta.get(0), HopStats::default());
+        assert_eq!(delta.get(1).completed, 1);
+        assert_eq!(delta.get(1).useful_deliveries, 7);
+        assert_eq!(delta.get(1).nodes, 0);
+        // A bucket that only exists now passes through whole.
+        assert_eq!(delta.get(2).nodes, 3);
+        // Re-accumulating the delta onto the earlier snapshot round-trips.
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, now);
+        // Saturation against a "later" snapshot.
+        assert!(earlier.snapshot_delta(&now).total() == HopStats::default());
     }
 
     #[test]

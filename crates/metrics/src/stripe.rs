@@ -48,6 +48,26 @@ impl ReplicaCounters {
         self.bytes_out += other.bytes_out;
         self.failed |= other.failed;
     }
+
+    /// Everything that happened since `earlier`, field by field
+    /// (saturating at zero). `failed` is edge-triggered: `true` only when
+    /// the stream failed *within* the interval.
+    #[must_use]
+    pub fn snapshot_delta(&self, earlier: &ReplicaCounters) -> ReplicaCounters {
+        ReplicaCounters {
+            offers_seen: self.offers_seen.saturating_sub(earlier.offers_seen),
+            aborted: self.aborted.saturating_sub(earlier.aborted),
+            delivered: self.delivered.saturating_sub(earlier.delivered),
+            useful: self.useful.saturating_sub(earlier.useful),
+            duplicates: self.duplicates.saturating_sub(earlier.duplicates),
+            generations_completed: self
+                .generations_completed
+                .saturating_sub(earlier.generations_completed),
+            bytes_in: self.bytes_in.saturating_sub(earlier.bytes_in),
+            bytes_out: self.bytes_out.saturating_sub(earlier.bytes_out),
+            failed: self.failed && !earlier.failed,
+        }
+    }
 }
 
 /// Accounting of one whole striped fetch across every replica stream.
@@ -98,6 +118,42 @@ impl StripeCounters {
     #[must_use]
     pub fn contributing_replicas(&self) -> usize {
         self.replicas.iter().filter(|r| r.useful > 0).count()
+    }
+
+    /// Everything that happened since `earlier`: replica slots are diffed
+    /// pairwise by index, scalars saturate at zero. Slots present now but
+    /// not in `earlier` (a wider stripe) pass through whole, so a scraper
+    /// that started before a reconfiguration still reads sane deltas.
+    ///
+    /// ```
+    /// use ltnc_metrics::StripeCounters;
+    ///
+    /// let mut earlier = StripeCounters::new(2);
+    /// earlier.replicas[0].delivered = 10;
+    /// let mut now = StripeCounters::new(2);
+    /// now.replicas[0].delivered = 25;
+    /// now.failovers = 1;
+    /// let delta = now.snapshot_delta(&earlier);
+    /// assert_eq!(delta.replicas[0].delivered, 15);
+    /// assert_eq!(delta.failovers, 1);
+    /// ```
+    #[must_use]
+    pub fn snapshot_delta(&self, earlier: &StripeCounters) -> StripeCounters {
+        let blank = ReplicaCounters::default();
+        StripeCounters {
+            replicas: self
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(i, replica)| {
+                    replica.snapshot_delta(earlier.replicas.get(i).unwrap_or(&blank))
+                })
+                .collect(),
+            failovers: self.failovers.saturating_sub(earlier.failovers),
+            generations_releases: self
+                .generations_releases
+                .saturating_sub(earlier.generations_releases),
+        }
     }
 
     /// Fraction of deliveries that were duplicates, in `[0, 1]`; `0` when
@@ -152,6 +208,57 @@ mod tests {
         let c = StripeCounters::new(0);
         assert_eq!(c.duplicate_rate(), 0.0);
         assert_eq!(c.contributing_replicas(), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_is_pairwise_and_saturating() {
+        let mut earlier = StripeCounters::new(2);
+        earlier.replicas[0] = ReplicaCounters {
+            offers_seen: 10,
+            aborted: 2,
+            delivered: 8,
+            useful: 7,
+            duplicates: 1,
+            generations_completed: 1,
+            bytes_in: 800,
+            bytes_out: 80,
+            failed: false,
+        };
+        earlier.failovers = 1;
+        let mut now = earlier.clone();
+        now.replicas[0].offers_seen = 25;
+        now.replicas[0].delivered = 20;
+        now.replicas[0].useful = 18;
+        now.replicas[0].bytes_in = 2_000;
+        now.replicas[0].failed = true;
+        now.replicas[1].delivered = 5;
+        now.failovers = 2;
+        now.generations_releases = 3;
+
+        let delta = now.snapshot_delta(&earlier);
+        assert_eq!(delta.replicas[0].offers_seen, 15);
+        assert_eq!(delta.replicas[0].delivered, 12);
+        assert_eq!(delta.replicas[0].useful, 11);
+        assert_eq!(delta.replicas[0].bytes_in, 1_200);
+        assert_eq!(delta.replicas[0].aborted, 0);
+        assert_eq!(delta.replicas[1].delivered, 5);
+        assert_eq!(delta.failovers, 1);
+        assert_eq!(delta.generations_releases, 3);
+        // `failed` flips only on the interval where the failure happened.
+        assert!(delta.replicas[0].failed);
+        assert!(!now.snapshot_delta(&now).replicas[0].failed);
+        // Saturation: diffing against a "later" snapshot yields zeros.
+        assert_eq!(earlier.snapshot_delta(&now).replicas[0].offers_seen, 0);
+    }
+
+    #[test]
+    fn snapshot_delta_handles_widened_stripe() {
+        let earlier = StripeCounters::new(1);
+        let mut now = StripeCounters::new(3);
+        now.replicas[2].delivered = 4;
+        let delta = now.snapshot_delta(&earlier);
+        assert_eq!(delta.replicas.len(), 3);
+        assert_eq!(delta.replicas[2].delivered, 4);
     }
 
     #[test]

@@ -74,6 +74,47 @@ impl WireCounters {
         self.budget_cuts += other.budget_cuts;
     }
 
+    /// Everything that happened since `earlier`, field by field.
+    ///
+    /// The interval-delta counterpart of [`WireCounters::merge`]: sampling
+    /// a live endpoint's counters at two instants and diffing yields the
+    /// traffic of that interval alone, so a periodic scraper can report
+    /// rates without the endpoint ever resetting its counters. Saturates
+    /// at zero per field, so a stale `earlier` from a previous endpoint
+    /// incarnation degrades to the full current value instead of wrapping.
+    ///
+    /// ```
+    /// use ltnc_metrics::WireCounters;
+    ///
+    /// let earlier = WireCounters { datagrams_sent: 40, bytes_sent: 4_000, ..WireCounters::new() };
+    /// let now = WireCounters { datagrams_sent: 65, bytes_sent: 6_500, ..WireCounters::new() };
+    /// let delta = now.snapshot_delta(&earlier);
+    /// assert_eq!(delta.datagrams_sent, 25);
+    /// assert_eq!(delta.bytes_sent, 2_500);
+    /// ```
+    #[must_use]
+    pub fn snapshot_delta(&self, earlier: &WireCounters) -> WireCounters {
+        WireCounters {
+            datagrams_sent: self.datagrams_sent.saturating_sub(earlier.datagrams_sent),
+            datagrams_received: self.datagrams_received.saturating_sub(earlier.datagrams_received),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            payload_bytes_sent: self.payload_bytes_sent.saturating_sub(earlier.payload_bytes_sent),
+            transfers_offered: self.transfers_offered.saturating_sub(earlier.transfers_offered),
+            transfers_aborted: self.transfers_aborted.saturating_sub(earlier.transfers_aborted),
+            transfers_delivered: self
+                .transfers_delivered
+                .saturating_sub(earlier.transfers_delivered),
+            useful_deliveries: self.useful_deliveries.saturating_sub(earlier.useful_deliveries),
+            decode_errors: self.decode_errors.saturating_sub(earlier.decode_errors),
+            session_mismatches: self.session_mismatches.saturating_sub(earlier.session_mismatches),
+            inbound_dropped: self.inbound_dropped.saturating_sub(earlier.inbound_dropped),
+            offer_timeouts: self.offer_timeouts.saturating_sub(earlier.offer_timeouts),
+            budget_raises: self.budget_raises.saturating_sub(earlier.budget_raises),
+            budget_cuts: self.budget_cuts.saturating_sub(earlier.budget_cuts),
+        }
+    }
+
     /// Fraction of offered transfers that timed out without any feedback,
     /// in `[0, 1]`; `0` when nothing was offered. This is the endpoint's
     /// aggregate view of the loss estimate each peer budget tracks.
@@ -174,6 +215,71 @@ mod tests {
         assert_eq!(a.budget_raises, 3);
         assert_eq!(a.budget_cuts, 4);
         assert!((a.timeout_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_delta_diffs_every_field_and_saturates() {
+        let earlier = WireCounters {
+            datagrams_sent: 10,
+            datagrams_received: 9,
+            bytes_sent: 1_000,
+            bytes_received: 900,
+            payload_bytes_sent: 600,
+            transfers_offered: 8,
+            transfers_aborted: 1,
+            transfers_delivered: 6,
+            useful_deliveries: 5,
+            decode_errors: 1,
+            session_mismatches: 2,
+            inbound_dropped: 3,
+            offer_timeouts: 1,
+            budget_raises: 2,
+            budget_cuts: 1,
+        };
+        let now = WireCounters {
+            datagrams_sent: 25,
+            datagrams_received: 20,
+            bytes_sent: 2_600,
+            bytes_received: 2_000,
+            payload_bytes_sent: 1_700,
+            transfers_offered: 20,
+            transfers_aborted: 3,
+            transfers_delivered: 15,
+            useful_deliveries: 12,
+            decode_errors: 1,
+            session_mismatches: 2,
+            inbound_dropped: 4,
+            offer_timeouts: 3,
+            budget_raises: 6,
+            budget_cuts: 2,
+        };
+        let delta = now.snapshot_delta(&earlier);
+        assert_eq!(
+            delta,
+            WireCounters {
+                datagrams_sent: 15,
+                datagrams_received: 11,
+                bytes_sent: 1_600,
+                bytes_received: 1_100,
+                payload_bytes_sent: 1_100,
+                transfers_offered: 12,
+                transfers_aborted: 2,
+                transfers_delivered: 9,
+                useful_deliveries: 7,
+                decode_errors: 0,
+                session_mismatches: 0,
+                inbound_dropped: 1,
+                offer_timeouts: 2,
+                budget_raises: 4,
+                budget_cuts: 1,
+            }
+        );
+        // Re-accumulating the delta onto the earlier snapshot round-trips.
+        let mut rebuilt = earlier;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, now);
+        // A counter that went "backwards" (stale earlier) saturates at 0.
+        assert_eq!(earlier.snapshot_delta(&now).datagrams_sent, 0);
     }
 
     #[test]

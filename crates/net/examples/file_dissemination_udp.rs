@@ -222,6 +222,7 @@ fn main() -> ExitCode {
             timeout: Duration::from_secs(args.timeout_secs),
             session: 0xF00D_0000 + scheme.wire_id() as u64,
             faults,
+            trace_capacity: None,
         };
         match run_localhost_swarm(&config) {
             Ok(report) => {

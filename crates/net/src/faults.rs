@@ -42,6 +42,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
+use ltnc_telemetry::{FaultKind, TraceEvent, Tracer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -848,6 +849,7 @@ pub struct FaultySocket {
     recv: Arc<Mutex<InboundState>>,
     send: Arc<Mutex<DirectionState>>,
     totals: Arc<FaultTotals>,
+    tracer: Tracer,
 }
 
 impl FaultySocket {
@@ -858,11 +860,28 @@ impl FaultySocket {
     /// Never fails today; the `io::Result` mirrors `UdpSocket`
     /// constructors so callers compose it with socket setup.
     pub fn new(socket: UdpSocket, faults: DatagramFaults) -> io::Result<FaultySocket> {
+        FaultySocket::with_tracer(socket, faults, Tracer::off())
+    }
+
+    /// Like [`FaultySocket::new`], but every injected fault also emits a
+    /// [`TraceEvent::FaultInjected`] on `tracer` (attributed to the peer
+    /// the datagram came from or was going to).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `io::Result` mirrors `UdpSocket`
+    /// constructors so callers compose it with socket setup.
+    pub fn with_tracer(
+        socket: UdpSocket,
+        faults: DatagramFaults,
+        tracer: Tracer,
+    ) -> io::Result<FaultySocket> {
         Ok(FaultySocket {
             socket,
             recv: Arc::new(Mutex::new(InboundState::new(faults.inbound))),
             send: Arc::new(Mutex::new(DirectionState::new(faults.outbound))),
             totals: Arc::new(FaultTotals::default()),
+            tracer,
         })
     }
 
@@ -907,6 +926,7 @@ impl FaultySocket {
             recv: Arc::clone(&self.recv),
             send: Arc::clone(&self.send),
             totals: Arc::clone(&self.totals),
+            tracer: self.tracer.clone(),
         })
     }
 
@@ -1005,6 +1025,7 @@ impl FaultySocket {
                     link.merge(&delta);
                 }
                 self.totals.add(&delta);
+                self.emit_inbound_faults(&delta, peer);
                 match consumed {
                     None => Ok((len, peer)),
                     // The arriving datagram was consumed (dropped, held):
@@ -1034,6 +1055,28 @@ impl FaultySocket {
                 }
             }
             Err(e) => Err(e),
+        }
+    }
+
+    /// One [`TraceEvent::FaultInjected`] per fault a datagram from `peer`
+    /// just suffered.
+    fn emit_inbound_faults(&self, delta: &DatagramFaultCounters, peer: SocketAddr) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        for (count, kind) in [
+            (delta.delayed_in, FaultKind::Delay),
+            (delta.dropped_in, FaultKind::Drop),
+            (delta.reordered_in, FaultKind::Reorder),
+            (delta.duplicated_in, FaultKind::Duplicate),
+        ] {
+            if count > 0 {
+                self.tracer.emit(|| TraceEvent::FaultInjected {
+                    kind,
+                    inbound: true,
+                    peer: Some(peer),
+                });
+            }
         }
     }
 
@@ -1069,10 +1112,12 @@ impl FaultySocket {
         let plan = state.plan;
         if plan.delay_rate > 0.0 && state.rng.gen_bool(plan.delay_rate) {
             self.totals.delayed_out.fetch_add(1, Ordering::Relaxed);
+            self.emit_outbound_fault(FaultKind::Delay, to);
             thread::sleep(plan.delay);
         }
         if plan.drop_rate > 0.0 && state.rng.gen_bool(plan.drop_rate) {
             self.totals.dropped_out.fetch_add(1, Ordering::Relaxed);
+            self.emit_outbound_fault(FaultKind::Drop, to);
             return Ok(bytes.len());
         }
         if plan.reorder_window > 0
@@ -1080,15 +1125,21 @@ impl FaultySocket {
             && state.rng.gen_bool(plan.reorder_rate)
         {
             self.totals.reordered_out.fetch_add(1, Ordering::Relaxed);
+            self.emit_outbound_fault(FaultKind::Reorder, to);
             let remaining = state.rng.gen_range(1..=plan.reorder_window);
             state.held.push_back(HeldDatagram { bytes: bytes.to_vec(), peer: to, remaining });
             return Ok(bytes.len());
         }
         if plan.duplicate_rate > 0.0 && state.rng.gen_bool(plan.duplicate_rate) {
             self.totals.duplicated_out.fetch_add(1, Ordering::Relaxed);
+            self.emit_outbound_fault(FaultKind::Duplicate, to);
             let _ = self.socket.send_to(bytes, to);
         }
         self.socket.send_to(bytes, to)
+    }
+
+    fn emit_outbound_fault(&self, kind: FaultKind, to: SocketAddr) {
+        self.tracer.emit(|| TraceEvent::FaultInjected { kind, inbound: false, peer: Some(to) });
     }
 }
 

@@ -64,13 +64,17 @@ use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use ltnc_gf2::EncodedPacket;
 use ltnc_metrics::{OpCounters, WireCounters};
 use ltnc_scheme::SchemeParams;
+use ltnc_telemetry::{
+    wire_samples, MetricsRegistry, ScrapeOptions, ScrapeServer, TimedEvent, TraceEvent, TraceSink,
+    Tracer,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -149,6 +153,11 @@ pub struct NodeOptions {
     pub queue_capacity: usize,
     /// Seed of the node's deterministic RNG.
     pub seed: u64,
+    /// When set, the node serves its live [`WireCounters`] (and injected
+    /// fault counters) over a TCP scrape endpoint bound here — see
+    /// [`PeerNode::metrics_addr`]. Port 0 picks a free port. `None` (the
+    /// default) spawns nothing.
+    pub metrics_bind: Option<SocketAddr>,
 }
 
 impl NodeOptions {
@@ -194,6 +203,7 @@ impl Default for NodeOptions {
             adaptive_ttl: true,
             queue_capacity: 1024,
             seed: 0xC0DE,
+            metrics_bind: None,
         }
     }
 }
@@ -206,6 +216,18 @@ pub struct NodeConfig {
     pub role: NodeRole,
     /// Tuning knobs.
     pub options: NodeOptions,
+    /// Optional sink receiving [`TraceEvent`]s from the node's hot paths
+    /// (offers, feedback, pacing moves, fault injections). `None` — the
+    /// default, see [`NodeConfig::new`] — makes every hook a no-op.
+    pub trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl NodeConfig {
+    /// A configuration with no trace sink installed.
+    #[must_use]
+    pub fn new(session: u64, role: NodeRole, options: NodeOptions) -> NodeConfig {
+        NodeConfig { session, role, options, trace: None }
+    }
 }
 
 /// Final accounting returned by [`PeerNode::shutdown`].
@@ -238,6 +260,11 @@ pub struct PeerReport {
     /// ([`PeerNode::set_link_faults`]), keyed by sender address — the
     /// per-link attribution of [`PeerReport::faults`] in topology runs.
     pub link_faults: Vec<(SocketAddr, DatagramFaultCounters)>,
+    /// Trace events recorded during the run, oldest first. Populated by
+    /// harnesses that install a draining sink (e.g. a swarm run with
+    /// [`crate::SwarmConfig::trace_capacity`] set); empty when no sink
+    /// was attached or the sink is owned by the caller.
+    pub events: Vec<TimedEvent>,
 }
 
 enum Control {
@@ -250,6 +277,29 @@ struct Shared {
     complete_generations: AtomicUsize,
     inbound_dropped: AtomicU64,
     stop: AtomicBool,
+    /// Live mirror of the actor's [`WireCounters`], refreshed once per
+    /// gossip tick — only when a metrics endpoint is attached
+    /// ([`NodeOptions::metrics_bind`]); never touched otherwise.
+    wire: Mutex<WireCounters>,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            complete: AtomicBool::new(false),
+            complete_generations: AtomicUsize::new(0),
+            inbound_dropped: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            wire: Mutex::new(WireCounters::new()),
+        }
+    }
+
+    /// The published wire counters plus the socket thread's drop count.
+    fn wire_snapshot(&self) -> WireCounters {
+        let mut wire = self.wire.lock().map(|wire| *wire).unwrap_or_default();
+        wire.inbound_dropped += self.inbound_dropped.load(Ordering::Acquire);
+        wire
+    }
 }
 
 /// Handle to a running peer actor.
@@ -263,6 +313,7 @@ pub struct PeerNode {
     shared: Arc<Shared>,
     actor: JoinHandle<PeerReport>,
     socket_thread: JoinHandle<()>,
+    scrape: Option<ScrapeServer>,
 }
 
 impl PeerNode {
@@ -291,16 +342,12 @@ impl PeerNode {
         config: NodeConfig,
         faults: DatagramFaults,
     ) -> io::Result<PeerNode> {
-        let socket = FaultySocket::new(UdpSocket::bind(bind)?, faults)?;
+        let tracer = Tracer::from_option(config.trace.clone());
+        let socket = FaultySocket::with_tracer(UdpSocket::bind(bind)?, faults, tracer)?;
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let local_addr = socket.local_addr()?;
 
-        let shared = Arc::new(Shared {
-            complete: AtomicBool::new(false),
-            complete_generations: AtomicUsize::new(0),
-            inbound_dropped: AtomicU64::new(0),
-            stop: AtomicBool::new(false),
-        });
+        let shared = Arc::new(Shared::new());
         // A source is complete by definition; publish that before the
         // actor thread even starts so the handle never reports a stale
         // "incomplete" for it.
@@ -321,6 +368,26 @@ impl PeerNode {
             thread::spawn(move || socket_loop(&socket, &event_tx, &shared))
         };
 
+        // The scrape endpoint reads the shared live mirror (refreshed per
+        // tick by the actor) and the socket's fault totals — it never
+        // touches actor state directly.
+        let scrape = match config.options.metrics_bind {
+            Some(addr) => {
+                let registry = Arc::new(MetricsRegistry::new());
+                let node_label = [("node", local_addr.to_string())];
+                let wire_shared = Arc::clone(&shared);
+                registry.register("wire", &node_label, move || {
+                    wire_samples(&wire_shared.wire_snapshot())
+                });
+                let fault_handle = socket.try_clone()?;
+                registry.register("faults", &node_label, move || {
+                    fault_samples(&fault_handle.fault_counters())
+                });
+                Some(ScrapeServer::spawn(addr, registry, ScrapeOptions::default())?)
+            }
+            None => None,
+        };
+
         let handle = socket.try_clone()?;
         let actor = {
             let shared = Arc::clone(&shared);
@@ -334,6 +401,7 @@ impl PeerNode {
             shared,
             actor,
             socket_thread,
+            scrape,
         })
     }
 
@@ -370,6 +438,22 @@ impl PeerNode {
         self.shared.complete_generations.load(Ordering::Acquire)
     }
 
+    /// The node's live wire counters, as published once per gossip tick.
+    /// Only meaningful with [`NodeOptions::metrics_bind`] set (the actor
+    /// skips the mirror otherwise and this returns zeros until shutdown).
+    #[must_use]
+    pub fn counters(&self) -> WireCounters {
+        self.shared.wire_snapshot()
+    }
+
+    /// The address of the node's metrics scrape endpoint (`GET /metrics`
+    /// for Prometheus text, `GET /metrics.json` for JSON), or `None`
+    /// when [`NodeOptions::metrics_bind`] was not set.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.scrape.as_ref().map(ScrapeServer::local_addr)
+    }
+
     /// Graceful shutdown: stops gossiping, joins both threads and returns
     /// the final report.
     ///
@@ -382,9 +466,27 @@ impl PeerNode {
         self.shared.stop.store(true, Ordering::Release);
         let mut report = self.actor.join().expect("actor thread panicked");
         self.socket_thread.join().expect("socket thread panicked");
+        if let Some(scrape) = self.scrape {
+            scrape.shutdown();
+        }
         report.wire.inbound_dropped += self.shared.inbound_dropped.load(Ordering::Acquire);
         report
     }
+}
+
+/// [`DatagramFaultCounters`] as registry samples (family `faults`).
+fn fault_samples(c: &DatagramFaultCounters) -> Vec<ltnc_telemetry::Sample> {
+    use ltnc_telemetry::Sample;
+    vec![
+        Sample::plain("dropped_in", c.dropped_in),
+        Sample::plain("dropped_out", c.dropped_out),
+        Sample::plain("duplicated_in", c.duplicated_in),
+        Sample::plain("duplicated_out", c.duplicated_out),
+        Sample::plain("reordered_in", c.reordered_in),
+        Sample::plain("reordered_out", c.reordered_out),
+        Sample::plain("delayed_in", c.delayed_in),
+        Sample::plain("delayed_out", c.delayed_out),
+    ]
 }
 
 fn socket_loop(socket: &FaultySocket, events: &SyncSender<(Vec<u8>, SocketAddr)>, shared: &Shared) {
@@ -463,10 +565,16 @@ struct Actor {
     wire: WireCounters,
     shared: Arc<Shared>,
     shutdown: bool,
+    tracer: Tracer,
+    /// Refresh the shared wire mirror each tick (only when a metrics
+    /// endpoint reads it — the mirror costs nothing otherwise).
+    publish_live: bool,
 }
 
 impl Actor {
     fn new(socket: FaultySocket, config: NodeConfig, shared: Arc<Shared>) -> Actor {
+        let tracer = Tracer::from_option(config.trace);
+        let publish_live = config.options.metrics_bind.is_some();
         let (params, source, receiver) = match config.role {
             NodeRole::Source { object, params } => {
                 // Completion state for sources is already published by
@@ -504,6 +612,8 @@ impl Actor {
             wire: WireCounters::new(),
             shared,
             shutdown: false,
+            tracer,
+            publish_live,
         }
     }
 
@@ -571,6 +681,7 @@ impl Actor {
             })
             .collect();
         rtt_estimates.sort_by_key(|&(peer, _)| peer);
+        self.publish_wire();
         PeerReport {
             wire: self.wire,
             complete,
@@ -582,6 +693,19 @@ impl Actor {
             loss_estimates,
             rtt_estimates,
             link_faults: self.socket.link_counters(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Copies the actor's counters into the shared live mirror — the
+    /// scrape endpoint's read side. A no-op unless an endpoint is
+    /// attached, so nodes without one never touch the mutex.
+    fn publish_wire(&self) {
+        if !self.publish_live {
+            return;
+        }
+        if let Ok(mut wire) = self.shared.wire.lock() {
+            *wire = self.wire;
         }
     }
 
@@ -628,6 +752,8 @@ impl Actor {
                 pacing.budget = (pacing.budget + 1.0 / pacing.budget.max(1.0)).min(base);
                 if pacing.budget as usize > before {
                     self.wire.budget_raises += 1;
+                    let budget = pacing.budget as u64;
+                    self.tracer.emit(|| TraceEvent::BudgetRaised { peer, budget });
                 }
             }
             return;
@@ -644,6 +770,8 @@ impl Actor {
             pacing.budget = (pacing.budget + 1.0).clamp(floor, ceiling);
             if pacing.budget as usize > before {
                 self.wire.budget_raises += 1;
+                let budget = pacing.budget as u64;
+                self.tracer.emit(|| TraceEvent::BudgetRaised { peer, budget });
             }
         } else if pacing.last_cut.is_none_or(|at| at.elapsed() >= ttl) {
             // Silent for a whole TTL: multiplicative decrease, at most
@@ -652,6 +780,8 @@ impl Actor {
             pacing.budget = (pacing.budget * BUDGET_CUT_FACTOR).clamp(floor, ceiling);
             if (pacing.budget as usize) < before {
                 self.wire.budget_cuts += 1;
+                let budget = pacing.budget as u64;
+                self.tracer.emit(|| TraceEvent::BudgetCut { peer, budget });
             }
         }
     }
@@ -765,7 +895,9 @@ impl Actor {
                 // Either verdict proves the offer/feedback round trip
                 // survived the link — a success for pacing purposes, and
                 // an RTT sample for the derived TTL.
-                self.note_outcome(pending.to, Some(pending.born.elapsed()));
+                let rtt = pending.born.elapsed();
+                self.note_outcome(pending.to, Some(rtt));
+                self.tracer.emit(|| TraceEvent::FeedbackReceived { peer: from, accept, rtt });
                 if accept {
                     self.wire.transfers_delivered += 1;
                     self.send(
@@ -795,11 +927,14 @@ impl Actor {
                 if useful {
                     self.wire.useful_deliveries += 1;
                 }
+                self.tracer.emit(|| TraceEvent::PayloadDelivered { generation, useful });
                 if newly_complete {
+                    self.tracer.emit(|| TraceEvent::GenerationDecoded { generation });
                     self.announce_complete(generation);
                 }
                 if object_complete && !self.shared.complete.load(Ordering::Acquire) {
                     self.shared.complete.store(true, Ordering::Release);
+                    self.tracer.emit(|| TraceEvent::ObjectDecoded);
                     self.announce_complete(GENERATION_OBJECT);
                 }
             }
@@ -827,6 +962,7 @@ impl Actor {
     }
 
     fn tick(&mut self) {
+        self.publish_wire();
         self.evict_stale_pending();
         if self.peers.is_empty() {
             return;
@@ -850,6 +986,7 @@ impl Actor {
             }
             self.wire.offer_timeouts += 1;
             self.note_outcome(pending.to, None);
+            self.tracer.emit(|| TraceEvent::OfferTimedOut { peer: pending.to });
         }
     }
 
@@ -895,6 +1032,10 @@ impl Actor {
             None
         };
         let Some((generation, packet)) = made else { return };
+        if self.source.is_none() {
+            // Relays recode every pushed packet from their partial store.
+            self.tracer.emit(|| TraceEvent::RelayRecode { generation });
+        }
 
         let transfer = self.next_transfer;
         self.next_transfer += 1;
@@ -908,6 +1049,7 @@ impl Actor {
             },
         );
         self.wire.transfers_offered += 1;
+        self.tracer.emit(|| TraceEvent::OfferSent { peer: target, generation });
         self.pending.insert(
             transfer,
             PendingTransfer { generation, packet, to: target, born: Instant::now() },
@@ -934,11 +1076,7 @@ mod tests {
         let params = SchemeParams::new(SchemeKind::Ltnc, 8, 4);
         let node = PeerNode::spawn(
             loopback(),
-            NodeConfig {
-                session: 1,
-                role: NodeRole::Source { object: vec![7; 64], params },
-                options: quick_options(1),
-            },
+            NodeConfig::new(1, NodeRole::Source { object: vec![7; 64], params }, quick_options(1)),
         )
         .expect("spawn");
         assert!(node.is_complete());
@@ -954,17 +1092,17 @@ mod tests {
         let object: Vec<u8> = (0..100u32).map(|i| (i * 13 % 251) as u8).collect();
         let source = PeerNode::spawn(
             loopback(),
-            NodeConfig {
-                session: 9,
-                role: NodeRole::Source { object: object.clone(), params },
-                options: quick_options(2),
-            },
+            NodeConfig::new(
+                9,
+                NodeRole::Source { object: object.clone(), params },
+                quick_options(2),
+            ),
         )
         .expect("spawn source");
         let manifest = crate::generation::split_object(&object, params).0;
         let peer = PeerNode::spawn(
             loopback(),
-            NodeConfig { session: 9, role: NodeRole::Peer { manifest }, options: quick_options(3) },
+            NodeConfig::new(9, NodeRole::Peer { manifest }, quick_options(3)),
         )
         .expect("spawn peer");
 
@@ -1004,7 +1142,7 @@ mod tests {
         };
         let source = PeerNode::spawn(
             loopback(),
-            NodeConfig { session: 77, role: NodeRole::Source { object, params }, options },
+            NodeConfig::new(77, NodeRole::Source { object, params }, options),
         )
         .expect("spawn source");
 
@@ -1086,19 +1224,10 @@ mod tests {
             crate::faults::DatagramFaults::clean(1),
         )
         .expect("wrap");
-        let shared = Arc::new(Shared {
-            complete: AtomicBool::new(false),
-            complete_generations: AtomicUsize::new(0),
-            inbound_dropped: AtomicU64::new(0),
-            stop: AtomicBool::new(false),
-        });
+        let shared = Arc::new(Shared::new());
         Actor::new(
             socket,
-            NodeConfig {
-                session: 1,
-                role: NodeRole::Source { object: vec![1u8; 8], params },
-                options,
-            },
+            NodeConfig::new(1, NodeRole::Source { object: vec![1u8; 8], params }, options),
             shared,
         )
     }
@@ -1225,7 +1354,7 @@ mod tests {
         let manifest = crate::generation::split_object(&[1, 2, 3], params).0;
         let node = PeerNode::spawn(
             loopback(),
-            NodeConfig { session: 5, role: NodeRole::Peer { manifest }, options: quick_options(4) },
+            NodeConfig::new(5, NodeRole::Peer { manifest }, quick_options(4)),
         )
         .expect("spawn");
         assert!(!node.is_complete());

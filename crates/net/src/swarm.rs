@@ -25,11 +25,13 @@
 
 use std::io;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use ltnc_metrics::WireCounters;
 use ltnc_scheme::{SchemeKind, SchemeParams};
+use ltnc_telemetry::RingSink;
 
 use crate::faults::{DatagramFaultCounters, DatagramFaultPlan, DatagramFaults};
 use crate::generation::split_object;
@@ -59,6 +61,11 @@ pub struct SwarmConfig {
     /// re-mixed from its swarm index ([`DatagramFaults::for_node`]), so
     /// one seed describes the whole swarm's loss pattern.
     pub faults: Option<DatagramFaults>,
+    /// When set, every node records its [`ltnc_telemetry::TraceEvent`]s
+    /// into a bounded [`RingSink`] of this capacity, drained into
+    /// [`PeerReport::events`] at shutdown. `None` (the default) installs
+    /// no sink — every trace hook stays a no-op.
+    pub trace_capacity: Option<usize>,
 }
 
 impl SwarmConfig {
@@ -75,6 +82,7 @@ impl SwarmConfig {
             timeout: Duration::from_secs(30),
             session: 0x5E55_1011,
             faults: None,
+            trace_capacity: None,
         }
     }
 }
@@ -228,6 +236,9 @@ pub fn run_wired_swarm(config: &SwarmConfig, wiring: &SwarmWiring) -> io::Result
     };
 
     let mut nodes: Vec<PeerNode> = Vec::with_capacity(node_count);
+    // One bounded ring per node when tracing is on; drained into each
+    // node's report after shutdown.
+    let mut sinks: Vec<Option<Arc<RingSink>>> = Vec::with_capacity(node_count);
     for i in 0..node_count {
         let role = if i == 0 {
             NodeRole::Source { object: config.object.clone(), params }
@@ -239,15 +250,12 @@ pub fn run_wired_swarm(config: &SwarmConfig, wiring: &SwarmWiring) -> io::Result
         } else {
             config.options.seed.wrapping_add(i as u64)
         };
-        let spawned = PeerNode::spawn_faulty(
-            bind,
-            NodeConfig {
-                session: config.session,
-                role,
-                options: NodeOptions { seed, ..config.options },
-            },
-            node_faults(i as u64),
-        );
+        let sink = config.trace_capacity.map(|capacity| Arc::new(RingSink::new(capacity)));
+        sinks.push(sink.clone());
+        let mut node_config =
+            NodeConfig::new(config.session, role, NodeOptions { seed, ..config.options });
+        node_config.trace = sink.map(|sink| sink as _);
+        let spawned = PeerNode::spawn_faulty(bind, node_config, node_faults(i as u64));
         match spawned {
             Ok(node) => nodes.push(node),
             Err(e) => {
@@ -283,7 +291,18 @@ pub fn run_wired_swarm(config: &SwarmConfig, wiring: &SwarmWiring) -> io::Result
     }
     let elapsed = started.elapsed();
 
-    let mut reports = nodes.into_iter().map(PeerNode::shutdown);
+    let mut reports = nodes
+        .into_iter()
+        .zip(sinks)
+        .map(|(node, sink)| {
+            let mut report = node.shutdown();
+            if let Some(sink) = sink {
+                report.events = sink.drain();
+            }
+            report
+        })
+        .collect::<Vec<PeerReport>>()
+        .into_iter();
     let source_report = reports.next().expect("the source exists");
     let peer_reports: Vec<PeerReport> = reports.collect();
 

@@ -53,6 +53,7 @@ fn lossy_config(scheme: SchemeKind, object_len: usize) -> SwarmConfig {
         timeout: Duration::from_secs(60),
         session: 0xFA_0000 + scheme.wire_id() as u64,
         faults: Some(lossy_links(fault_seed())),
+        trace_capacity: None,
     }
 }
 
@@ -113,11 +114,7 @@ fn offers_to_a_dead_peer_cut_its_budget_to_the_floor() {
     };
     let source = ltnc_net::PeerNode::spawn(
         "127.0.0.1:0".parse().expect("addr"),
-        NodeConfig {
-            session: 21,
-            role: NodeRole::Source { object: vec![3u8; 16], params },
-            options,
-        },
+        NodeConfig::new(21, NodeRole::Source { object: vec![3u8; 16], params }, options),
     )
     .expect("spawn source");
     let dead = UdpSocket::bind("127.0.0.1:0").expect("bind dead peer");
@@ -194,6 +191,7 @@ fn stress_swarm_survives_heavy_loss_reordering_and_delay() {
             timeout: Duration::from_secs(120),
             session: 0xFB_0000 + scheme.wire_id() as u64,
             faults: Some(faults),
+            trace_capacity: None,
         };
         let report = run_localhost_swarm(&config).expect("swarm should start");
         assert!(

@@ -30,6 +30,13 @@
 //! The structure is runtime-agnostic on purpose (blocking I/O behind
 //! small state machines, like `PeerNode`): porting to an async runtime
 //! changes the outer loops, not the protocol or the store.
+//!
+//! Every layer is instrumented through `ltnc-telemetry`: the server
+//! emits session/connection/store trace events
+//! ([`Server::spawn_traced`]) and can expose its live counters on a TCP
+//! scrape endpoint ([`ServeOptions::metrics_bind`]); the striped client
+//! traces failovers and lease migrations ([`fetch_striped_traced`]).
+//! See `docs/OBSERVABILITY.md` for the event catalog and metric names.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,4 +53,4 @@ pub use error::ServeError;
 pub use options::ServeOptions;
 pub use server::Server;
 pub use store::ObjectStore;
-pub use striped::{fetch_striped, StripedOptions, StripedReport};
+pub use striped::{fetch_striped, fetch_striped_traced, StripedOptions, StripedReport};

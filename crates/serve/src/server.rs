@@ -40,6 +40,9 @@ use ltnc_net::envelope::{self, EnvelopeHeader, Message, MessageKind, GENERATION_
 use ltnc_net::stream::FrameReassembler;
 use ltnc_scheme::SchemeParams;
 use ltnc_session::generation::ObjectManifest;
+use ltnc_telemetry::{
+    serve_samples, MetricsRegistry, ScrapeOptions, ScrapeServer, TraceEvent, TraceSink, Tracer,
+};
 
 use crate::store::ObjectStore;
 use crate::{ServeError, ServeOptions};
@@ -67,6 +70,7 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     store: Arc<ObjectStore>,
     stats: Arc<ServeStats>,
+    scrape: Option<ScrapeServer>,
 }
 
 impl Server {
@@ -79,9 +83,49 @@ impl Server {
     /// [`ServeError::InvalidOption`] for out-of-bounds options,
     /// [`ServeError::Io`] for socket failures.
     pub fn spawn(bind: SocketAddr, options: ServeOptions) -> Result<Server, ServeError> {
+        Server::spawn_traced(bind, options, None)
+    }
+
+    /// Like [`Server::spawn`], but additionally emits structured trace
+    /// events (session lifecycle, store hits/misses/evictions, connection
+    /// open/close) into `trace` when one is given.
+    ///
+    /// ```no_run
+    /// use std::sync::Arc;
+    /// use ltnc_serve::{Server, ServeOptions};
+    /// use ltnc_telemetry::RingSink;
+    ///
+    /// let sink = Arc::new(RingSink::new(4096));
+    /// let options = ServeOptions {
+    ///     metrics_bind: Some("127.0.0.1:0".parse().unwrap()),
+    ///     ..ServeOptions::default()
+    /// };
+    /// let server = Server::spawn_traced(
+    ///     "127.0.0.1:0".parse().unwrap(),
+    ///     options,
+    ///     Some(sink.clone()),
+    /// ).unwrap();
+    /// println!("scrape at http://{}/metrics", server.metrics_addr().unwrap());
+    /// let _events = sink.events();
+    /// let _ = server.shutdown();
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::spawn`]; a metrics bind failure is
+    /// [`ServeError::Io`].
+    pub fn spawn_traced(
+        bind: SocketAddr,
+        options: ServeOptions,
+        trace: Option<Arc<dyn TraceSink>>,
+    ) -> Result<Server, ServeError> {
         options.validate()?;
-        let store =
-            Arc::new(ObjectStore::with_salt(options.warm_cache_capacity, options.replica_salt)?);
+        let tracer = Tracer::from_option(trace);
+        let store = Arc::new(ObjectStore::with_salt_traced(
+            options.warm_cache_capacity,
+            options.replica_salt,
+            tracer.clone(),
+        )?);
         let listener = TcpListener::bind(bind)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -97,7 +141,10 @@ impl Server {
                 let store = Arc::clone(&store);
                 let stats = Arc::clone(&stats);
                 let stop = Arc::clone(&stop);
-                thread::spawn(move || worker_loop(&conn_rx, &store, &stats, &stop, options))
+                let tracer = tracer.clone();
+                thread::spawn(move || {
+                    worker_loop(&conn_rx, &store, &stats, &stop, options, &tracer)
+                })
             })
             .collect();
 
@@ -107,13 +154,33 @@ impl Server {
             thread::spawn(move || accept_loop(&listener, &conn_tx, &stats, &stop))
         };
 
-        Ok(Server { local_addr, stop, accept_thread, workers, store, stats })
+        let scrape = match options.metrics_bind {
+            Some(addr) => {
+                let registry = Arc::new(MetricsRegistry::new());
+                let store = Arc::clone(&store);
+                let stats = Arc::clone(&stats);
+                registry.register("serve", &[("server", local_addr.to_string())], move || {
+                    serve_samples(&snapshot(&store, &stats))
+                });
+                Some(ScrapeServer::spawn(addr, registry, ScrapeOptions::default())?)
+            }
+            None => None,
+        };
+
+        Ok(Server { local_addr, stop, accept_thread, workers, store, stats, scrape })
     }
 
     /// The address clients connect to.
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound address of the telemetry scrape endpoint, when
+    /// [`ServeOptions::metrics_bind`] requested one.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.scrape.as_ref().map(ScrapeServer::local_addr)
     }
 
     /// Registers an object for serving under `id`. Live: sessions opened
@@ -146,7 +213,10 @@ impl Server {
     /// Panics if an internal thread panicked.
     #[must_use]
     pub fn shutdown(self) -> ServeCounters {
-        let Server { local_addr: _, stop, accept_thread, workers, store, stats } = self;
+        let Server { local_addr: _, stop, accept_thread, workers, store, stats, scrape } = self;
+        if let Some(scrape) = scrape {
+            scrape.shutdown();
+        }
         stop.store(true, Ordering::Release);
         // Joining the accept thread drops the connection sender, which
         // unblocks any worker idling in recv_timeout.
@@ -211,6 +281,7 @@ fn worker_loop(
     stats: &ServeStats,
     stop: &AtomicBool,
     options: ServeOptions,
+    tracer: &Tracer,
 ) {
     loop {
         // Hold the lock only for the dequeue; recv_timeout returns
@@ -224,7 +295,7 @@ fn worker_loop(
             Ok(stream) => {
                 // A broken individual connection must not take the worker
                 // down; the error already ended that session.
-                let _ = serve_connection(stream, store, stats, stop, options);
+                let _ = serve_connection(stream, store, stats, stop, options, tracer);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::Acquire) {
@@ -317,6 +388,7 @@ struct Connection<'a> {
     stream: TcpStream,
     reassembler: FrameReassembler,
     stats: &'a ServeStats,
+    tracer: &'a Tracer,
 }
 
 impl Connection<'_> {
@@ -339,10 +411,29 @@ fn serve_connection(
     stats: &ServeStats,
     stop: &AtomicBool,
     options: ServeOptions,
+    tracer: &Tracer,
+) -> Result<(), ServeError> {
+    let peer = stream.peer_addr().ok();
+    tracer.emit(|| TraceEvent::ConnectionOpened { peer });
+    let result = run_session(stream, store, stats, stop, options, tracer);
+    tracer.emit(|| TraceEvent::ConnectionClosed { peer });
+    result
+}
+
+/// The session loop of one accepted connection (split out so
+/// [`serve_connection`] can bracket every exit path with open/close
+/// trace events).
+fn run_session(
+    stream: TcpStream,
+    store: &Arc<ObjectStore>,
+    stats: &ServeStats,
+    stop: &AtomicBool,
+    options: ServeOptions,
+    tracer: &Tracer,
 ) -> Result<(), ServeError> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(options.read_timeout))?;
-    let mut conn = Connection { stream, reassembler: FrameReassembler::new(), stats };
+    let mut conn = Connection { stream, reassembler: FrameReassembler::new(), stats, tracer };
     let mut session: Option<Session> = None;
     let mut buf = vec![0u8; 16 * 1024];
     let mut stop_seen: Option<std::time::Instant> = None;
@@ -416,6 +507,7 @@ fn handle_frame(
                 store.manifest(object_id).filter(|manifest| manifest.params.kind == header.scheme);
             let Some(manifest) = manifest else {
                 stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                conn.tracer.emit(|| TraceEvent::SessionRejected { object: object_id });
                 let reject = EnvelopeHeader {
                     kind: MessageKind::Reject,
                     scheme: header.scheme,
@@ -426,6 +518,7 @@ fn handle_frame(
                 return Ok(true);
             };
             stats.sessions_accepted.fetch_add(1, Ordering::Relaxed);
+            conn.tracer.emit(|| TraceEvent::SessionAccepted { object: object_id });
             let new = Session::new(object_id, manifest, options);
             conn.send(
                 &new.header(MessageKind::Manifest, GENERATION_OBJECT),
@@ -460,6 +553,8 @@ fn handle_frame(
             };
             if header.generation == GENERATION_OBJECT {
                 stats.sessions_completed.fetch_add(1, Ordering::Relaxed);
+                let object = session.object_id;
+                conn.tracer.emit(|| TraceEvent::SessionCompleted { object });
                 return Ok(true);
             }
             session.mark_done(header.generation);

@@ -28,6 +28,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use ltnc_gf2::EncodedPacket;
 use ltnc_scheme::{Scheme, SchemeParams};
 use ltnc_session::generation::{split_object, ObjectManifest};
+use ltnc_telemetry::{TraceEvent, Tracer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -54,16 +55,21 @@ impl GenerationCache {
         seq: u64,
         capacity: usize,
         stats: &StoreStats,
+        tracer: &Tracer,
+        object: u64,
+        generation: u32,
     ) -> Option<(u64, EncodedPacket)> {
         let seq = seq.max(self.base_seq);
         let offset = (seq - self.base_seq) as usize;
         if offset < self.symbols.len() {
             stats.hits.fetch_add(1, Ordering::Relaxed);
+            tracer.emit(|| TraceEvent::StoreHit { object, generation });
             return Some((seq, self.symbols[offset].clone()));
         }
         // Cursor at (or, after a race on a shrunk ring, past) the head:
         // encode one fresh symbol for the head position.
         stats.misses.fetch_add(1, Ordering::Relaxed);
+        tracer.emit(|| TraceEvent::StoreMiss { object, generation });
         let packet = self.node.make_packet(&mut self.rng)?;
         let seq = self.base_seq + self.symbols.len() as u64;
         self.symbols.push_back(packet.clone());
@@ -71,6 +77,7 @@ impl GenerationCache {
             self.symbols.pop_front();
             self.base_seq += 1;
             stats.evictions.fetch_add(1, Ordering::Relaxed);
+            tracer.emit(|| TraceEvent::StoreEvicted { object, generation });
         }
         Some((seq, packet))
     }
@@ -110,6 +117,9 @@ pub struct ObjectStore {
     /// streams (see [`crate::ServeOptions::replica_salt`]).
     salt: u64,
     stats: StoreStats,
+    /// Emits `StoreHit`/`StoreMiss`/`StoreEvicted` events; disabled
+    /// tracers cost one branch per symbol request.
+    tracer: Tracer,
 }
 
 impl ObjectStore {
@@ -131,6 +141,20 @@ impl ObjectStore {
     ///
     /// Same as [`ObjectStore::new`].
     pub fn with_salt(cache_capacity: usize, salt: u64) -> Result<Self, ServeError> {
+        ObjectStore::with_salt_traced(cache_capacity, salt, Tracer::off())
+    }
+
+    /// An empty store that additionally emits `StoreHit`/`StoreMiss`/
+    /// `StoreEvicted` trace events through `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ObjectStore::new`].
+    pub fn with_salt_traced(
+        cache_capacity: usize,
+        salt: u64,
+        tracer: Tracer,
+    ) -> Result<Self, ServeError> {
         let max = crate::options::bounds::MAX_CACHE_CAPACITY;
         if cache_capacity == 0 || cache_capacity > max {
             return Err(ServeError::InvalidOption {
@@ -145,6 +169,7 @@ impl ObjectStore {
             cache_capacity,
             salt,
             stats: StoreStats::default(),
+            tracer,
         })
     }
 
@@ -236,6 +261,9 @@ impl ObjectStore {
             seq,
             self.cache_capacity,
             &self.stats,
+            &self.tracer,
+            id,
+            gen_index,
         );
         symbol
     }

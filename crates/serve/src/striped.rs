@@ -51,6 +51,7 @@ use ltnc_metrics::{ReplicaCounters, StripeCounters};
 use ltnc_scheme::SchemeKind;
 use ltnc_session::generation::ObjectManifest;
 use ltnc_session::{LeaseTable, SharedReceiver};
+use ltnc_telemetry::{TraceEvent, Tracer};
 
 use crate::client::{ClientOptions, ReplicaConn};
 use crate::ServeError;
@@ -143,6 +144,9 @@ struct Coordinator {
     event_tx: mpsc::Sender<Event>,
     outstanding_streams: usize,
     pending_opens: usize,
+    /// Emits `ReplicaFailover`/`LeaseReassigned` events on the failover
+    /// path; [`Tracer::off`] for untraced fetches.
+    tracer: Tracer,
 }
 
 /// Fetches `object_id` under `scheme` from every replica in `addrs` at
@@ -163,6 +167,24 @@ pub fn fetch_striped(
     object_id: u64,
     scheme: SchemeKind,
     options: &StripedOptions,
+) -> Result<StripedReport, ServeError> {
+    fetch_striped_traced(addrs, object_id, scheme, options, Tracer::off())
+}
+
+/// Like [`fetch_striped`], but emits `ReplicaFailover` and
+/// `LeaseReassigned` trace events through `tracer` as the coordinator
+/// declares replicas dead and migrates their outstanding generation
+/// leases.
+///
+/// # Errors
+///
+/// Same as [`fetch_striped`].
+pub fn fetch_striped_traced(
+    addrs: &[SocketAddr],
+    object_id: u64,
+    scheme: SchemeKind,
+    options: &StripedOptions,
+    tracer: Tracer,
 ) -> Result<StripedReport, ServeError> {
     if addrs.is_empty() || addrs.len() > MAX_REPLICAS {
         return Err(ServeError::InvalidOption {
@@ -194,6 +216,7 @@ pub fn fetch_striped(
         event_tx: event_tx.clone(),
         outstanding_streams: 0,
         pending_opens: addrs.len(),
+        tracer,
     };
 
     // Parallel opens, funneled into the coordinator's event loop: streams
@@ -319,6 +342,8 @@ impl Coordinator {
                         // The replica's one original session died; stop
                         // routing leases to it.
                         self.alive[event.replica] = false;
+                        let replica = event.replica as u64;
+                        self.tracer.emit(|| TraceEvent::ReplicaFailover { replica });
                     }
                     if self.stream_failures > self.options.max_failovers {
                         return Err(self.give_up());
@@ -427,6 +452,7 @@ impl Coordinator {
     /// defer until a manifest exists to partition against).
     fn replica_dead_at_open(&mut self, replica: usize) {
         self.alive[replica] = false;
+        self.tracer.emit(|| TraceEvent::ReplicaFailover { replica: replica as u64 });
         self.stripe.failovers += 1;
         if self.manifest.is_some() {
             let orphaned =
@@ -467,6 +493,12 @@ impl Coordinator {
         };
         if moves.is_empty() {
             return Err(NoSurvivors); // outstanding leases, nowhere to go
+        }
+        if self.tracer.is_enabled() {
+            for &(generation, to) in &moves {
+                let (from, to) = (from as u64, to as u64);
+                self.tracer.emit(|| TraceEvent::LeaseReassigned { generation, from, to });
+            }
         }
         self.stripe.generations_releases += moves.len() as u64;
         for &target in &candidates {

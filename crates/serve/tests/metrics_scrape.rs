@@ -1,0 +1,236 @@
+//! Scrape-endpoint coverage: concurrent scrapes during an active fetch
+//! stay consistent, hostile scrape clients cannot stall the endpoint,
+//! and traced servers/striped fetches emit the advertised events.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ltnc_scheme::{SchemeKind, SchemeParams};
+use ltnc_serve::{
+    fetch, fetch_striped_traced, ClientOptions, ServeOptions, Server, StripedOptions,
+};
+use ltnc_telemetry::{RingSink, TraceEvent, Tracer};
+
+const OBJECT_LEN: usize = 24 * 1024;
+
+fn test_object() -> Vec<u8> {
+    (0..OBJECT_LEN).map(|i| (i * 131 % 251) as u8).collect()
+}
+
+fn spawn_metrics_server(options: ServeOptions) -> Server {
+    let options =
+        ServeOptions { metrics_bind: Some("127.0.0.1:0".parse().expect("addr")), ..options };
+    let server = Server::spawn("127.0.0.1:0".parse().expect("addr"), options).expect("spawn");
+    server
+        .register(7, &test_object(), SchemeParams::new(SchemeKind::Rlnc, 16, 64))
+        .expect("register");
+    server
+}
+
+/// One raw HTTP exchange against the scrape endpoint.
+fn http_get(addr: SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect scrape");
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+/// Parses `ltnc_serve_<name>{...} value` lines out of a scrape body.
+fn parse_serve_counters(body: &str) -> HashMap<String, u64> {
+    let mut counters = HashMap::new();
+    for line in body.lines() {
+        if !line.starts_with("ltnc_serve_") {
+            continue;
+        }
+        let Some((metric, value)) = line.rsplit_once(' ') else { continue };
+        let name = metric.split('{').next().unwrap_or(metric).to_string();
+        if let Ok(value) = value.parse::<u64>() {
+            counters.insert(name, value);
+        }
+    }
+    counters
+}
+
+#[test]
+fn concurrent_scrapes_during_an_active_fetch_stay_monotonic() {
+    let server = spawn_metrics_server(ServeOptions::default());
+    let serve_addr = server.local_addr();
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint requested");
+
+    // Scrapers hammer the endpoint while the fetch below is in flight;
+    // every counter they observe must be monotone non-decreasing.
+    let scrapers: Vec<_> = (0..2)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut last: HashMap<String, u64> = HashMap::new();
+                let deadline = Instant::now() + Duration::from_secs(5);
+                let mut scrapes = 0u32;
+                while Instant::now() < deadline && scrapes < 40 {
+                    let body = http_get(metrics_addr, "GET /metrics HTTP/1.0\r\n\r\n");
+                    assert!(body.starts_with("HTTP/1.0 200"), "scrape failed: {body}");
+                    let counters = parse_serve_counters(&body);
+                    for (name, &value) in &counters {
+                        if let Some(&prev) = last.get(name) {
+                            assert!(
+                                value >= prev,
+                                "{name} went backwards mid-fetch: {prev} -> {value}"
+                            );
+                        }
+                    }
+                    last = counters;
+                    scrapes += 1;
+                }
+                last
+            })
+        })
+        .collect();
+
+    let report = fetch(serve_addr, 7, SchemeKind::Rlnc, &ClientOptions::default()).expect("fetch");
+    assert_eq!(report.object, test_object());
+
+    for scraper in scrapers {
+        let last = scraper.join().expect("scraper panicked");
+        assert!(!last.is_empty(), "scraper never saw a serve sample");
+    }
+
+    // After the fetch, the cumulative view must reflect it.
+    let body = http_get(metrics_addr, "GET /metrics HTTP/1.0\r\n\r\n");
+    let counters = parse_serve_counters(&body);
+    assert!(counters["ltnc_serve_sessions_accepted"] >= 1);
+    assert!(counters["ltnc_serve_sessions_completed"] >= 1);
+    assert!(counters["ltnc_serve_transfers_delivered"] >= 1);
+    assert!(counters["ltnc_serve_bytes_out"] > 0);
+    let _ = server.shutdown();
+}
+
+#[test]
+fn json_scrape_carries_the_server_label() {
+    let server = spawn_metrics_server(ServeOptions::default());
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint requested");
+    let body = http_get(metrics_addr, "GET /metrics.json HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(body.starts_with("HTTP/1.0 200"));
+    assert!(body.contains("\"family\":\"serve\""));
+    assert!(body.contains(&format!("\"server\":\"{}\"", server.local_addr())));
+    let _ = server.shutdown();
+}
+
+#[test]
+fn malformed_and_slow_scrape_clients_cannot_stall_the_endpoint() {
+    let server = spawn_metrics_server(ServeOptions::default());
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint requested");
+
+    // A malformed request is rejected, not hung on.
+    let bad = http_get(metrics_addr, "NONSENSE / FTP/9\r\n\r\n");
+    assert!(bad.starts_with("HTTP/1.0 400"), "malformed request got: {bad}");
+
+    // A client that connects and never sends a request is cut at the
+    // read deadline; the next well-formed scrape still answers.
+    let silent = TcpStream::connect(metrics_addr).expect("connect");
+    let started = Instant::now();
+    let ok = http_get(metrics_addr, "GET /metrics HTTP/1.0\r\n\r\n");
+    assert!(ok.starts_with("HTTP/1.0 200"));
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "a silent client stalled the endpoint for {:?}",
+        started.elapsed()
+    );
+    drop(silent);
+    let _ = server.shutdown();
+}
+
+#[test]
+fn traced_server_emits_session_store_and_connection_events() {
+    let sink = Arc::new(RingSink::new(65_536));
+    let server = Server::spawn_traced(
+        "127.0.0.1:0".parse().expect("addr"),
+        ServeOptions::default(),
+        Some(sink.clone() as _),
+    )
+    .expect("spawn");
+    server
+        .register(7, &test_object(), SchemeParams::new(SchemeKind::Rlnc, 16, 64))
+        .expect("register");
+
+    let report =
+        fetch(server.local_addr(), 7, SchemeKind::Rlnc, &ClientOptions::default()).expect("fetch");
+    assert_eq!(report.object.len(), OBJECT_LEN);
+    // An unknown object exercises the reject path too.
+    let rejected = fetch(server.local_addr(), 404, SchemeKind::Rlnc, &ClientOptions::default());
+    assert!(rejected.is_err());
+    let _ = server.shutdown();
+
+    let events = sink.drain();
+    let has = |name: &str| events.iter().any(|timed| timed.event.name() == name);
+    for expected in [
+        "connection_opened",
+        "connection_closed",
+        "session_accepted",
+        "session_rejected",
+        "session_completed",
+        "store_miss",
+    ] {
+        assert!(has(expected), "no {expected} event in {} events", events.len());
+    }
+    assert!(events.windows(2).all(|w| w[0].at <= w[1].at), "event timestamps must be monotone");
+    // The accepted session is for object 7, the rejected one for 404.
+    assert!(events.iter().any(|t| matches!(t.event, TraceEvent::SessionAccepted { object: 7 })));
+    assert!(events.iter().any(|t| matches!(t.event, TraceEvent::SessionRejected { object: 404 })));
+}
+
+#[test]
+fn traced_striped_fetch_emits_failover_and_lease_events() {
+    let object = test_object();
+    let params = SchemeParams::new(SchemeKind::Rlnc, 16, 64);
+    let servers: Vec<Server> = (0..2)
+        .map(|replica| {
+            let options = ServeOptions { replica_salt: replica + 1, ..ServeOptions::default() };
+            let server =
+                Server::spawn("127.0.0.1:0".parse().expect("addr"), options).expect("spawn");
+            server.register(7, &object, params).expect("register");
+            server
+        })
+        .collect();
+
+    // A third "replica" that refuses connections: bind, note the port,
+    // drop the listener before the fetch dials it.
+    let dead_addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    };
+    let mut addrs: Vec<SocketAddr> = servers.iter().map(Server::local_addr).collect();
+    addrs.push(dead_addr);
+
+    let sink = Arc::new(RingSink::new(65_536));
+    let report = fetch_striped_traced(
+        &addrs,
+        7,
+        SchemeKind::Rlnc,
+        &StripedOptions::default(),
+        Tracer::new(sink.clone()),
+    )
+    .expect("striped fetch survives one dead replica");
+    assert_eq!(report.object, object);
+    for server in servers {
+        let _ = server.shutdown();
+    }
+
+    let events = sink.drain();
+    assert!(
+        events.iter().any(|t| matches!(t.event, TraceEvent::ReplicaFailover { replica: 2 })),
+        "the dead replica must be declared failed"
+    );
+    let reassigned: Vec<_> = events
+        .iter()
+        .filter_map(|t| match t.event {
+            TraceEvent::LeaseReassigned { generation, from, to } => Some((generation, from, to)),
+            _ => None,
+        })
+        .collect();
+    assert!(!reassigned.is_empty(), "the dead replica's leases must migrate");
+    assert!(reassigned.iter().all(|&(_, from, to)| from == 2 && to < 2));
+}

@@ -1,0 +1,226 @@
+//! A minimal JSON document builder.
+//!
+//! The workspace's vendored `serde` is an offline no-op facade (see
+//! `vendor/README.md`), so machine-readable output is rendered by hand.
+//! [`JsonValue`] covers exactly what the scrape endpoint and the
+//! examples' `--report` writers need: objects, arrays, strings, numbers
+//! and booleans, with correct string escaping and deterministic member
+//! order (members render in insertion order).
+//!
+//! ```
+//! use ltnc_telemetry::json::JsonValue;
+//!
+//! let doc = JsonValue::object()
+//!     .field("scheme", "ltnc")
+//!     .field("bytes_sent", 1024u64)
+//!     .field("bit_exact", true);
+//! assert_eq!(doc.render(), r#"{"scheme":"ltnc","bytes_sent":1024,"bit_exact":true}"#);
+//! ```
+
+use core::fmt;
+
+/// One JSON value; build with the constructors, render with
+/// [`JsonValue::render`] (or `Display`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (covers every counter in the workspace).
+    Int(i64),
+    /// A finite float, rendered with enough precision to round-trip;
+    /// non-finite values render as `null` per JSON's limits.
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered list.
+    Array(Vec<JsonValue>),
+    /// An object; members keep insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object, ready for [`JsonValue::field`] chaining.
+    #[must_use]
+    pub fn object() -> JsonValue {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// An array of already-built values.
+    #[must_use]
+    pub fn array(items: Vec<JsonValue>) -> JsonValue {
+        JsonValue::Array(items)
+    }
+
+    /// Appends a member to an object (panics if `self` is not an
+    /// object — builder misuse, not data-dependent).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Object(members) => members.push((key.to_string(), value.into())),
+            _ => panic!("JsonValue::field on a non-object"),
+        }
+        self
+    }
+
+    /// Renders the value as compact JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                out.push_str(&i.to_string());
+            }
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps a fractional part ("1.0", not "1") and
+                    // round-trips f64.
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> JsonValue {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> JsonValue {
+        // Counters beyond i64::MAX do not occur in practice; clamp rather
+        // than emit JSON many parsers reject.
+        JsonValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> JsonValue {
+        JsonValue::Int(i64::from(v))
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> JsonValue {
+        JsonValue::from(v as u64)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> JsonValue {
+        JsonValue::Int(v)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> JsonValue {
+        JsonValue::Float(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> JsonValue {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> JsonValue {
+        JsonValue::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = JsonValue::object()
+            .field("name", "run")
+            .field("ok", true)
+            .field("none", JsonValue::Null)
+            .field("hops", JsonValue::array(vec![JsonValue::from(1u64), JsonValue::from(2u64)]))
+            .field("nested", JsonValue::object().field("rate", 0.25));
+        assert_eq!(
+            doc.render(),
+            r#"{"name":"run","ok":true,"none":null,"hops":[1,2],"nested":{"rate":0.25}}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let doc = JsonValue::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(doc.render(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn floats_round_trip_and_nonfinite_is_null() {
+        assert_eq!(JsonValue::from(1.0).render(), "1.0");
+        assert_eq!(JsonValue::from(0.1).render(), "0.1");
+        assert_eq!(JsonValue::from(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::from(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn u64_clamps_to_i64() {
+        assert_eq!(JsonValue::from(u64::MAX).render(), i64::MAX.to_string());
+    }
+}

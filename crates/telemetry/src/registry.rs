@@ -1,0 +1,410 @@
+use core::fmt;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::json::JsonValue;
+
+/// One counter value sampled from a live source.
+///
+/// `name` is the counter's snake_case field name within its family;
+/// `labels` carries sample-level dimensions (for example `replica="2"` or
+/// `hop="3"`) on top of whatever labels the family was registered with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Counter name within the family (for example `bytes_sent`).
+    pub name: &'static str,
+    /// Extra label dimensions specific to this sample.
+    pub labels: Vec<(&'static str, String)>,
+    /// The current cumulative value.
+    pub value: u64,
+}
+
+impl Sample {
+    /// A label-less sample.
+    #[must_use]
+    pub fn plain(name: &'static str, value: u64) -> Sample {
+        Sample { name, labels: Vec::new(), value }
+    }
+}
+
+/// Samples one family of counters from a live source.
+///
+/// Implemented for any `Fn() -> Vec<Sample> + Send + Sync`, so the usual
+/// collector is a closure over a shared handle to live counters:
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use ltnc_telemetry::{MetricsRegistry, Sample};
+///
+/// let served = Arc::new(AtomicU64::new(0));
+/// let registry = MetricsRegistry::new();
+/// let source = served.clone();
+/// registry.register("serve", &[("server", "a".to_string())], move || {
+///     vec![Sample::plain("sessions", source.load(Ordering::Relaxed))]
+/// });
+///
+/// served.store(3, Ordering::Relaxed);
+/// let text = registry.snapshot().to_prometheus();
+/// assert!(text.contains(r#"ltnc_serve_sessions{server="a"} 3"#));
+/// ```
+pub trait Collector: Send + Sync {
+    /// Reads the current cumulative values.
+    fn samples(&self) -> Vec<Sample>;
+}
+
+impl<F> Collector for F
+where
+    F: Fn() -> Vec<Sample> + Send + Sync,
+{
+    fn samples(&self) -> Vec<Sample> {
+        self()
+    }
+}
+
+struct Entry {
+    family: String,
+    labels: Vec<(String, String)>,
+    collector: Box<dyn Collector>,
+    /// Values at the previous `interval_delta` call, keyed by the fully
+    /// rendered metric identity.
+    last: HashMap<String, u64>,
+}
+
+/// A set of labeled counter families, sampled on demand.
+///
+/// The registry unifies the workspace's counter structs behind one
+/// scrapeable surface: each registration pairs a family name and fixed
+/// labels with a [`Collector`] that reads the live values. Snapshots are
+/// cumulative; [`MetricsRegistry::interval_delta`] returns only what
+/// changed since the previous delta call, generalizing the
+/// `snapshot_delta` pattern of the counter structs to every family at
+/// once.
+///
+/// ```
+/// use ltnc_telemetry::{wire_samples, MetricsRegistry};
+/// use ltnc_metrics::WireCounters;
+/// use std::sync::{Arc, Mutex};
+///
+/// let live = Arc::new(Mutex::new(WireCounters::new()));
+/// let registry = MetricsRegistry::new();
+/// let source = live.clone();
+/// registry.register("wire", &[("node", "n0".to_string())], move || {
+///     wire_samples(&source.lock().unwrap())
+/// });
+///
+/// live.lock().unwrap().datagrams_sent = 7;
+/// assert_eq!(registry.interval_delta().value("wire", "datagrams_sent"), 7);
+/// live.lock().unwrap().datagrams_sent = 10;
+/// assert_eq!(registry.interval_delta().value("wire", "datagrams_sent"), 3);
+/// ```
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds a counter family. `family` becomes the metric-name prefix
+    /// (`ltnc_<family>_<counter>`), `labels` are attached to every sample
+    /// the collector produces.
+    pub fn register(
+        &self,
+        family: &str,
+        labels: &[(&str, String)],
+        collector: impl Collector + 'static,
+    ) {
+        let entry = Entry {
+            family: family.to_string(),
+            labels: labels.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect(),
+            collector: Box::new(collector),
+            last: HashMap::new(),
+        };
+        if let Ok(mut entries) = self.entries.lock() {
+            entries.push(entry);
+        }
+    }
+
+    /// Number of registered families.
+    #[must_use]
+    pub fn families(&self) -> usize {
+        self.entries.lock().map(|entries| entries.len()).unwrap_or(0)
+    }
+
+    /// Samples every collector and returns the cumulative values.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.collect(false)
+    }
+
+    /// Samples every collector and returns only the change since the
+    /// previous `interval_delta` call (the first call returns everything,
+    /// matching `snapshot_delta` against a zero baseline). Values that
+    /// went backwards saturate at zero.
+    #[must_use]
+    pub fn interval_delta(&self) -> MetricsSnapshot {
+        self.collect(true)
+    }
+
+    fn collect(&self, delta: bool) -> MetricsSnapshot {
+        let mut families = Vec::new();
+        let Ok(mut entries) = self.entries.lock() else {
+            return MetricsSnapshot { families };
+        };
+        for entry in entries.iter_mut() {
+            let mut samples = entry.collector.samples();
+            if delta {
+                for sample in &mut samples {
+                    let key = metric_key(sample.name, &sample.labels);
+                    let prev = entry.last.insert(key, sample.value).unwrap_or(0);
+                    sample.value = sample.value.saturating_sub(prev);
+                }
+            }
+            families.push(FamilySnapshot {
+                family: entry.family.clone(),
+                labels: entry.labels.clone(),
+                samples,
+            });
+        }
+        MetricsSnapshot { families }
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsRegistry").field("families", &self.families()).finish()
+    }
+}
+
+fn metric_key(name: &str, labels: &[(&'static str, String)]) -> String {
+    let mut key = name.to_string();
+    for (k, v) in labels {
+        key.push('\u{1f}');
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    key
+}
+
+/// One registered family's samples within a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilySnapshot {
+    /// The family name the collector was registered under.
+    pub family: String,
+    /// The fixed labels of the registration.
+    pub labels: Vec<(String, String)>,
+    /// The sampled counters.
+    pub samples: Vec<Sample>,
+}
+
+/// A point-in-time sampling of every family in a registry, renderable as
+/// Prometheus-style text or JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// One entry per registered family, in registration order.
+    pub families: Vec<FamilySnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// `true` when no family produced any sample.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.families.iter().all(|f| f.samples.is_empty())
+    }
+
+    /// Sum of every sample named `name` in families named `family`
+    /// (0 when absent) — a convenience for tests and report code.
+    #[must_use]
+    pub fn value(&self, family: &str, name: &str) -> u64 {
+        self.families
+            .iter()
+            .filter(|f| f.family == family)
+            .flat_map(|f| &f.samples)
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// one `ltnc_<family>_<name>{labels} value` line per sample, with a
+    /// `# TYPE … counter` header per distinct metric name.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: Vec<String> = Vec::new();
+        for family in &self.families {
+            for sample in &family.samples {
+                let metric = format!("ltnc_{}_{}", family.family, sample.name);
+                if !typed.contains(&metric) {
+                    out.push_str("# TYPE ");
+                    out.push_str(&metric);
+                    out.push_str(" counter\n");
+                    typed.push(metric.clone());
+                }
+                out.push_str(&metric);
+                let mut labels: Vec<(&str, &str)> =
+                    family.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                labels.extend(sample.labels.iter().map(|(k, v)| (*k, v.as_str())));
+                if !labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(k);
+                        out.push_str("=\"");
+                        out.push_str(&escape_label(v));
+                        out.push('"');
+                    }
+                    out.push('}');
+                }
+                out.push(' ');
+                out.push_str(&sample.value.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON document (families in registration
+    /// order, each with its labels and samples).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let families = self
+            .families
+            .iter()
+            .map(|family| {
+                let mut labels = JsonValue::object();
+                for (k, v) in &family.labels {
+                    labels = labels.field(k, v.as_str());
+                }
+                let samples = family
+                    .samples
+                    .iter()
+                    .map(|sample| {
+                        let mut doc = JsonValue::object().field("name", sample.name);
+                        if !sample.labels.is_empty() {
+                            let mut extra = JsonValue::object();
+                            for (k, v) in &sample.labels {
+                                extra = extra.field(k, v.as_str());
+                            }
+                            doc = doc.field("labels", extra);
+                        }
+                        doc.field("value", sample.value)
+                    })
+                    .collect();
+                JsonValue::object()
+                    .field("family", family.family.as_str())
+                    .field("labels", labels)
+                    .field("samples", JsonValue::array(samples))
+            })
+            .collect();
+        JsonValue::object().field("families", JsonValue::array(families)).render()
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use super::*;
+
+    fn counter_registry() -> (MetricsRegistry, Arc<AtomicU64>) {
+        let live = Arc::new(AtomicU64::new(0));
+        let registry = MetricsRegistry::new();
+        let source = live.clone();
+        registry.register("wire", &[("node", "n0".to_string())], move || {
+            vec![Sample::plain("datagrams_sent", source.load(Ordering::Relaxed))]
+        });
+        (registry, live)
+    }
+
+    #[test]
+    fn snapshot_is_cumulative_delta_is_interval() {
+        let (registry, live) = counter_registry();
+        live.store(5, Ordering::Relaxed);
+        assert_eq!(registry.snapshot().value("wire", "datagrams_sent"), 5);
+        assert_eq!(registry.interval_delta().value("wire", "datagrams_sent"), 5);
+        live.store(8, Ordering::Relaxed);
+        assert_eq!(registry.interval_delta().value("wire", "datagrams_sent"), 3);
+        // Unchanged interval → zero; snapshot stays cumulative.
+        assert_eq!(registry.interval_delta().value("wire", "datagrams_sent"), 0);
+        assert_eq!(registry.snapshot().value("wire", "datagrams_sent"), 8);
+        // A counter that went backwards saturates at zero.
+        live.store(2, Ordering::Relaxed);
+        assert_eq!(registry.interval_delta().value("wire", "datagrams_sent"), 0);
+    }
+
+    #[test]
+    fn prometheus_text_has_types_labels_and_values() {
+        let (registry, live) = counter_registry();
+        live.store(7, Ordering::Relaxed);
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE ltnc_wire_datagrams_sent counter"));
+        assert!(text.contains("ltnc_wire_datagrams_sent{node=\"n0\"} 7"));
+    }
+
+    #[test]
+    fn sample_labels_merge_after_family_labels() {
+        let registry = MetricsRegistry::new();
+        registry.register("stripe", &[("fetch", "f1".to_string())], move || {
+            vec![Sample { name: "delivered", labels: vec![("replica", "2".to_string())], value: 9 }]
+        });
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("ltnc_stripe_delivered{fetch=\"f1\",replica=\"2\"} 9"));
+        // Deltas keyed per label set: same name, distinct replica labels
+        // do not collide.
+        assert_eq!(registry.interval_delta().value("stripe", "delivered"), 9);
+        assert_eq!(registry.interval_delta().value("stripe", "delivered"), 0);
+    }
+
+    #[test]
+    fn json_snapshot_is_parseable_shape() {
+        let (registry, live) = counter_registry();
+        live.store(4, Ordering::Relaxed);
+        let json = registry.snapshot().to_json();
+        assert!(json.starts_with("{\"families\":["));
+        assert!(json.contains("\"family\":\"wire\""));
+        assert!(json.contains("\"name\":\"datagrams_sent\""));
+        assert!(json.contains("\"value\":4"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = MetricsRegistry::new();
+        registry.register("serve", &[("path", "a\"b\\c".to_string())], move || {
+            vec![Sample::plain("hits", 1)]
+        });
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains(r#"path="a\"b\\c""#));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let registry = MetricsRegistry::new();
+        let snap = registry.snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.to_prometheus(), "");
+        assert_eq!(snap.to_json(), "{\"families\":[]}");
+    }
+}

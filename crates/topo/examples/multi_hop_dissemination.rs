@@ -28,6 +28,7 @@ use std::time::Duration;
 use ltnc_net::faults::DatagramFaultPlan;
 use ltnc_net::NodeOptions;
 use ltnc_scheme::SchemeKind;
+use ltnc_telemetry::json::JsonValue;
 use ltnc_topo::{run_topology, Topology, TopologyConfig, TopologyFaults, TopologyReport};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -46,6 +47,10 @@ struct Args {
     reorder: f64,
     dup: f64,
     fault_seed: u64,
+    /// Per-node trace ring capacity; `--report` turns tracing on by
+    /// default so the report carries first-delivery-by-hop times.
+    trace_capacity: Option<usize>,
+    report: Option<String>,
     smoke: bool,
 }
 
@@ -77,6 +82,8 @@ fn parse_args() -> Result<Args, String> {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(0xF00D),
+        trace_capacity: None,
+        report: None,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -121,6 +128,11 @@ fn parse_args() -> Result<Args, String> {
                 args.fault_seed =
                     value("--fault-seed")?.parse().map_err(|e| format!("--fault-seed: {e}"))?;
             }
+            "--trace" => {
+                args.trace_capacity =
+                    Some(value("--trace")?.parse().map_err(|e| format!("--trace: {e}"))?);
+            }
+            "--report" => args.report = Some(value("--report")?),
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
                 println!(
@@ -128,7 +140,8 @@ fn parse_args() -> Result<Args, String> {
                      [--topology line|ring|star|tree|complete|kregular] [--nodes N] \
                      [--degree D] [--source IDX] [--size BYTES] [--k K] [--m M] \
                      [--scheme wc|rlnc|ltnc] [--timeout SECS] [--loss RATE] \
-                     [--reorder RATE] [--dup RATE] [--fault-seed N] [--smoke]"
+                     [--reorder RATE] [--dup RATE] [--fault-seed N] \
+                     [--trace EVENTS] [--report PATH] [--smoke]"
                 );
                 std::process::exit(0);
             }
@@ -151,6 +164,10 @@ fn parse_args() -> Result<Args, String> {
     args.m = m.unwrap_or(d_m);
     args.loss = loss.unwrap_or(d_loss);
     args.timeout_secs = timeout_secs.unwrap_or(d_timeout);
+    // A report without tracing would miss its first-delivery tables.
+    if args.report.is_some() && args.trace_capacity.is_none() {
+        args.trace_capacity = Some(65_536);
+    }
     Ok(args)
 }
 
@@ -182,6 +199,93 @@ fn report_row(report: &TopologyReport, peers: usize) -> String {
         wire.offer_timeouts,
         if report.swarm.bit_exact { "yes" } else { "NO" },
     )
+}
+
+/// Renders the run as a machine-readable document: the exact seeded
+/// configuration, then per scheme the swarm outcome, wire totals, the
+/// per-hop rollup, where each directed link's faults landed, and (when
+/// tracing is on) the first-delivery time at each hop distance.
+fn render_report(args: &Args, source: usize, results: &[(SchemeKind, TopologyReport)]) -> String {
+    let config = JsonValue::object()
+        .field("topology", args.topology.as_str())
+        .field("nodes", args.nodes)
+        .field("degree", args.degree)
+        .field("source", source)
+        .field("object_bytes", args.size)
+        .field("k", args.k)
+        .field("m", args.m)
+        .field("timeout_secs", args.timeout_secs)
+        .field("loss", args.loss)
+        .field("reorder", args.reorder)
+        .field("dup", args.dup)
+        .field("fault_seed", args.fault_seed)
+        .field("trace_capacity", args.trace_capacity.map_or(JsonValue::Null, JsonValue::from));
+
+    let schemes = results
+        .iter()
+        .map(|(scheme, report)| {
+            let mut wire = JsonValue::object();
+            for sample in ltnc_telemetry::wire_samples(&report.swarm.total_wire) {
+                wire = wire.field(sample.name, sample.value);
+            }
+            let per_hop = report
+                .hops
+                .iter()
+                .map(|(distance, stats)| {
+                    JsonValue::object()
+                        .field("distance", distance)
+                        .field("nodes", stats.nodes)
+                        .field("completed", stats.completed)
+                        .field("recoding_ops", stats.recoding_ops)
+                        .field("decoding_ops", stats.decoding_ops)
+                        .field("useful_deliveries", stats.useful_deliveries)
+                        .field("faults_injected", stats.faults_injected)
+                })
+                .collect();
+            let link_faults = report
+                .link_faults
+                .iter()
+                .map(|&(from, to, c)| {
+                    JsonValue::object()
+                        .field("from", from)
+                        .field("to", to)
+                        .field("dropped_in", c.dropped_in)
+                        .field("dropped_out", c.dropped_out)
+                        .field("duplicated_in", c.duplicated_in)
+                        .field("duplicated_out", c.duplicated_out)
+                        .field("reordered_in", c.reordered_in)
+                        .field("reordered_out", c.reordered_out)
+                        .field("delayed_in", c.delayed_in)
+                        .field("delayed_out", c.delayed_out)
+                })
+                .collect();
+            let first_delivery = report
+                .first_delivery_by_hop
+                .iter()
+                .map(|at| at.map_or(JsonValue::Null, |d| JsonValue::from(d.as_secs_f64())))
+                .collect();
+            JsonValue::object()
+                .field("scheme", scheme.label())
+                .field("converged", report.swarm.converged)
+                .field("bit_exact", report.swarm.bit_exact)
+                .field("peers_complete", report.swarm.peers_complete)
+                .field("peers", args.nodes.saturating_sub(1))
+                .field("elapsed_secs", report.swarm.elapsed.as_secs_f64())
+                .field("goodput_bytes_per_sec", report.goodput_bytes_per_sec())
+                .field("max_hops", report.max_hops())
+                .field("relay_recoding_ops", report.relay_recoding_ops)
+                .field("wire", wire)
+                .field("per_hop", JsonValue::array(per_hop))
+                .field("link_faults", JsonValue::array(link_faults))
+                .field("first_delivery_by_hop_secs", JsonValue::array(first_delivery))
+        })
+        .collect();
+
+    JsonValue::object()
+        .field("example", "multi_hop_dissemination")
+        .field("config", config)
+        .field("schemes", JsonValue::array(schemes))
+        .render()
 }
 
 fn main() -> ExitCode {
@@ -250,7 +354,7 @@ fn main() -> ExitCode {
 
     let peers = topology.nodes() - 1;
     let mut all_ok = true;
-    let mut per_hop = Vec::new();
+    let mut results: Vec<(SchemeKind, TopologyReport)> = Vec::new();
     for scheme in args.schemes.clone() {
         let config = TopologyConfig {
             scheme,
@@ -267,6 +371,7 @@ fn main() -> ExitCode {
             session: 0x70F0_0000 + u64::from(scheme.wire_id()),
             link_faults: link_faults.clone(),
             node_faults: None,
+            trace_capacity: args.trace_capacity,
         };
         match run_topology(&config) {
             Ok(report) => {
@@ -274,7 +379,7 @@ fn main() -> ExitCode {
                 if !(report.swarm.converged && report.swarm.bit_exact) {
                     all_ok = false;
                 }
-                per_hop.push((scheme, report.hops));
+                results.push((scheme, report));
             }
             Err(e) => {
                 eprintln!("{}: topology run failed: {e}", scheme.label());
@@ -283,9 +388,18 @@ fn main() -> ExitCode {
         }
     }
 
-    for (scheme, hops) in per_hop {
+    for (scheme, report) in &results {
         println!("\nper-hop rollup ({}):", scheme.label());
-        print!("{hops}");
+        print!("{}", report.hops);
+    }
+
+    if let Some(path) = &args.report {
+        let json = render_report(&args, source, &results);
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error: writing report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nreport written to {path}");
     }
 
     if all_ok {

@@ -18,6 +18,7 @@ use ltnc_net::faults::{DatagramFaultCounters, DatagramFaultPlan, DatagramFaults}
 use ltnc_net::swarm::{run_wired_swarm, SwarmConfig, SwarmReport, SwarmWiring};
 use ltnc_net::NodeOptions;
 use ltnc_scheme::SchemeKind;
+use ltnc_telemetry::TraceEvent;
 
 use crate::topology::Topology;
 
@@ -106,6 +107,12 @@ pub struct TopologyConfig {
     /// topology runs: prefer [`TopologyConfig::link_faults`], which
     /// keeps loss attributable per link.
     pub node_faults: Option<DatagramFaults>,
+    /// When set, every node records its trace events into a bounded ring
+    /// of this capacity (see [`SwarmConfig::trace_capacity`]); the
+    /// harness then derives [`TopologyReport::first_delivery_by_hop`]
+    /// from the per-node event streams. `None` (the default) installs no
+    /// sink.
+    pub trace_capacity: Option<usize>,
 }
 
 impl TopologyConfig {
@@ -125,6 +132,7 @@ impl TopologyConfig {
             session: 0x70_7011,
             link_faults: TopologyFaults::default(),
             node_faults: None,
+            trace_capacity: None,
         }
     }
 
@@ -217,6 +225,12 @@ pub struct TopologyReport {
     pub relay_recoding_ops: u64,
     /// Object length in bytes, for goodput computations.
     pub object_len: u64,
+    /// Earliest *useful* payload delivery per hop distance (indexed by
+    /// distance; entry 0 — the source — is always `None`), measured on
+    /// each node's own trace clock from its spawn. Populated only when
+    /// [`TopologyConfig::trace_capacity`] is set; how long the epidemic
+    /// front took to first reach each ring of the overlay.
+    pub first_delivery_by_hop: Vec<Option<Duration>>,
 }
 
 impl TopologyReport {
@@ -272,6 +286,7 @@ pub fn run_topology(config: &TopologyConfig) -> io::Result<TopologyReport> {
         timeout: config.timeout,
         session: config.session,
         faults: config.node_faults,
+        trace_capacity: config.trace_capacity,
     };
     let swarm = run_wired_swarm(&swarm_config, &wiring)?;
 
@@ -319,6 +334,25 @@ pub fn run_topology(config: &TopologyConfig) -> io::Result<TopologyReport> {
     }
     link_faults.sort_unstable_by_key(|&(from, to, _)| (from, to));
 
+    // Per-hop first-delivery times from the trace streams: the earliest
+    // useful PayloadDelivered any node of each distance ring recorded.
+    let max_distance = distances.iter().copied().max().unwrap_or(0);
+    let mut first_delivery_by_hop: Vec<Option<Duration>> = vec![None; max_distance + 1];
+    for (swarm_index, report) in swarm.node_reports().enumerate() {
+        let distance = distances[config.topo_of(swarm_index)];
+        let first = report
+            .events
+            .iter()
+            .find(|timed| matches!(timed.event, TraceEvent::PayloadDelivered { useful: true, .. }))
+            .map(|timed| timed.at);
+        if let Some(first) = first {
+            first_delivery_by_hop[distance] = Some(match first_delivery_by_hop[distance] {
+                Some(best) => best.min(first),
+                None => first,
+            });
+        }
+    }
+
     Ok(TopologyReport {
         swarm,
         topology_label: config.topology.label().to_string(),
@@ -327,6 +361,7 @@ pub fn run_topology(config: &TopologyConfig) -> io::Result<TopologyReport> {
         link_faults,
         relay_recoding_ops,
         object_len: config.object.len() as u64,
+        first_delivery_by_hop,
     })
 }
 
@@ -406,5 +441,26 @@ mod tests {
         assert_eq!(report.hops.get(2).completed, 1);
         assert!(report.relay_recoding_ops > 0, "the relay must recode");
         assert!(report.goodput_bytes_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn tracing_yields_per_hop_first_delivery_times() {
+        let mut config = TopologyConfig::quick(SchemeKind::Rlnc, object(400), Topology::line(3));
+        config.code_length = 8;
+        config.payload_size = 16;
+        config.trace_capacity = Some(4096);
+        let report = run_topology(&config).expect("run starts");
+        assert!(report.swarm.converged, "line(3) did not converge: {report:?}");
+        assert_eq!(report.first_delivery_by_hop.len(), 3);
+        assert!(report.first_delivery_by_hop[0].is_none(), "the source receives nothing");
+        let hop1 = report.first_delivery_by_hop[1].expect("hop 1 delivered");
+        let hop2 = report.first_delivery_by_hop[2].expect("hop 2 delivered");
+        assert!(hop1 <= report.swarm.elapsed + Duration::from_secs(1));
+        assert!(hop2 > Duration::ZERO);
+        // The relay's trace must show recoded pushes.
+        assert!(report
+            .swarm
+            .node_reports()
+            .any(|r| r.events.iter().any(|t| matches!(t.event, TraceEvent::RelayRecode { .. }))));
     }
 }

@@ -75,6 +75,7 @@ fn complete_topology_reproduces_legacy_swarm_behaviour_under_seeded_faults() {
             timeout: Duration::from_secs(60),
             session: 0xE0_0000 + u64::from(scheme.wire_id()),
             faults: Some(faults),
+            trace_capacity: None,
         };
         let legacy = run_localhost_swarm(&legacy_config).expect("legacy swarm starts");
 
@@ -90,6 +91,7 @@ fn complete_topology_reproduces_legacy_swarm_behaviour_under_seeded_faults() {
             session: legacy_config.session,
             link_faults: TopologyFaults::default(),
             node_faults: Some(faults),
+            trace_capacity: None,
         };
         let topo = run_topology(&topo_config).expect("topology run starts");
 

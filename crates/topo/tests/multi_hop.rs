@@ -51,6 +51,7 @@ fn lossy_config(
             DatagramFaultPlan::clean(fault_seed()).drop_rate(loss),
         ),
         node_faults: None,
+        trace_capacity: None,
     }
 }
 

@@ -37,6 +37,7 @@ fn multi_generation_config(scheme: SchemeKind) -> SwarmConfig {
         timeout: Duration::from_secs(60),
         session: 0xAB_0000 + scheme.wire_id() as u64,
         faults: None,
+        trace_capacity: None,
     }
 }
 
@@ -102,6 +103,7 @@ fn single_generation_object_and_tiny_payloads_work() {
         timeout: Duration::from_secs(60),
         session: 0xCAFE,
         faults: None,
+        trace_capacity: None,
     };
     let report = run_localhost_swarm(&config).expect("swarm should start");
     assert_eq!(report.generations, 1);
