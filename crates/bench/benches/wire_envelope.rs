@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ltnc_gf2::{CodeVector, EncodedPacket, Payload};
-use ltnc_net::envelope::{self, EnvelopeHeader, Message, MessageKind};
+use ltnc_net::envelope::{self, EnvelopeHeader, Message, MessageKind, TraceContext};
 use ltnc_sim::SchemeKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -30,6 +30,10 @@ fn header(kind: MessageKind) -> EnvelopeHeader {
     EnvelopeHeader { kind, scheme: SchemeKind::Ltnc, session: 0xBE7C, generation: 5 }
 }
 
+fn trace() -> TraceContext {
+    TraceContext { origin_micros: 1_234_567, hop: 3 }
+}
+
 fn bench_payload_roundtrip(c: &mut Criterion) {
     let mut group = c.benchmark_group("envelope_data_payload");
     group.warm_up_time(std::time::Duration::from_millis(300));
@@ -37,7 +41,7 @@ fn bench_payload_roundtrip(c: &mut Criterion) {
     for &(k, m) in &[(64usize, 256usize), (512, 1024), (2048, 4096)] {
         let mut rng = SmallRng::seed_from_u64(1);
         let packet = sample_packet(k, m, &mut rng);
-        let message = Message::DataPayload { transfer: 9, packet };
+        let message = Message::DataPayload { transfer: 9, trace: trace(), packet };
         let env_header = header(MessageKind::DataPayload);
         let frame = envelope::encode(&env_header, &message);
         group.throughput(Throughput::Bytes(frame.len() as u64));
@@ -60,13 +64,14 @@ fn bench_header_first_paths(c: &mut Criterion) {
         let packet = sample_packet(k, m, &mut rng);
         let offer = Message::DataHeader {
             transfer: 9,
+            trace: trace(),
             payload_size: packet.payload_size(),
             vector: packet.vector().clone(),
         };
         let offer_frame = envelope::encode(&header(MessageKind::DataHeader), &offer);
         let payload_frame = envelope::encode(
             &header(MessageKind::DataPayload),
-            &Message::DataPayload { transfer: 9, packet },
+            &Message::DataPayload { transfer: 9, trace: trace(), packet },
         );
         // The fixed-prefix peek a session does on every datagram.
         group.bench_with_input(BenchmarkId::new("envelope_header", k), &k, |b, _| {

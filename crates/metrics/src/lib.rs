@@ -30,6 +30,7 @@ mod cost;
 mod counters;
 mod histogram;
 mod hop;
+mod loghist;
 mod series;
 mod serve;
 mod stripe;
@@ -40,6 +41,9 @@ pub use cost::{CostBreakdown, CostModel};
 pub use counters::{OpCounters, OpKind};
 pub use histogram::Histogram;
 pub use hop::{HopCounters, HopStats};
+pub use loghist::{
+    bucket_bound, HopLatency, LogHistogram, LogHistogramSnapshot, LOG_BUCKETS, MAX_LATENCY_HOPS,
+};
 pub use series::TimeSeries;
 pub use serve::ServeCounters;
 pub use stripe::{ReplicaCounters, StripeCounters};

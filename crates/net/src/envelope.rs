@@ -13,14 +13,24 @@
 //! The bodies implement the paper's binary feedback channel as a two-phase
 //! transfer so that an aborted transfer never carries payload bytes:
 //!
-//! * `DATA-HEADER` — `transfer id (u64 LE)` + the *header prefix* of a
-//!   [`ltnc_gf2::wire`] frame (`k`, `m`, code-vector bitmap, **no payload**).
-//!   The receiver runs its innovation / redundancy check on this alone.
+//! * `DATA-HEADER` — `transfer id (u64 LE)` + a [`TraceContext`]
+//!   (`origin-send timestamp (u64 LE µs)` + `hop count (u16 LE)`) + the
+//!   *header prefix* of a [`ltnc_gf2::wire`] frame (`k`, `m`, code-vector
+//!   bitmap, **no payload**). The receiver runs its innovation /
+//!   redundancy check on this alone.
 //! * `FEEDBACK-ACCEPT` / `FEEDBACK-ABORT` — `transfer id (u64 LE)`; the
 //!   receiver's verdict on a pending header.
-//! * `DATA-PAYLOAD` — `transfer id (u64 LE)` + a *complete* `gf2::wire`
-//!   frame. Self-contained on purpose: a receiver that lost its pending
-//!   state (restart, reordering) can still use the packet.
+//! * `DATA-PAYLOAD` — `transfer id (u64 LE)` + a [`TraceContext`] + a
+//!   *complete* `gf2::wire` frame. Self-contained on purpose: a receiver
+//!   that lost its pending state (restart, reordering) can still use the
+//!   packet.
+//!
+//! The trace context is the causal lineage of the coded information: a
+//! source stamps hop 0 and its send time; a relay recoding generation
+//! data stamps the **earliest** origin timestamp and the **largest hop
+//! count + 1** among the packets it mixed, so a delivery's
+//! `now − origin` is the true origin→delivery latency along the
+//! dissemination critical path, and its hop count is the recode depth.
 //! * `COMPLETE` — empty body; the envelope's generation says which
 //!   generation the sender of this message has fully decoded
 //!   ([`GENERATION_OBJECT`] means the whole object).
@@ -54,8 +64,10 @@ use crate::NetError;
 /// The four ASCII bytes every `ltnc-net` datagram starts with.
 pub const MAGIC: [u8; 4] = *b"LTNC";
 
-/// Current protocol version.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Current protocol version. Version 2 added the [`TraceContext`] to the
+/// `DATA-HEADER` and `DATA-PAYLOAD` bodies; version-1 frames are
+/// rejected ([`NetError::BadVersion`]), not interpreted.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Size of the fixed envelope header.
 pub const ENVELOPE_HEADER_BYTES: usize = 4 + 1 + 1 + 1 + 8 + 4;
@@ -71,8 +83,85 @@ pub const MAX_PAYLOAD_SIZE: usize = 1 << 24;
 
 const TRANSFER_ID_BYTES: usize = 8;
 
+/// Bytes of a [`TraceContext`] on the wire: origin timestamp + hop count.
+pub const TRACE_CONTEXT_BYTES: usize = 8 + 2;
+
 /// Bytes of a `MANIFEST` body: object length + `k` + `m`.
 const MANIFEST_BODY_BYTES: usize = 8 + 4 + 4;
+
+/// Causal lineage carried on every `DATA-HEADER` and `DATA-PAYLOAD`:
+/// when the oldest information mixed into this packet left its origin,
+/// and how many recode steps it has been through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Microseconds since the Unix epoch at which the origin first sent
+    /// the (oldest) information mixed into this packet.
+    pub origin_micros: u64,
+    /// Recode depth: 0 from a source, `max(inputs) + 1` from a relay.
+    pub hop: u16,
+}
+
+impl TraceContext {
+    /// The current wall clock in the wire's unit (microseconds since the
+    /// Unix epoch, saturating).
+    #[must_use]
+    pub fn now_micros() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+            .unwrap_or(0)
+    }
+
+    /// A source-fresh context: hop 0, stamped now.
+    #[must_use]
+    pub fn origin_now() -> TraceContext {
+        TraceContext { origin_micros: TraceContext::now_micros(), hop: 0 }
+    }
+
+    /// Folds another packet's lineage into this one the way a recoding
+    /// relay must: keep the earliest origin, the deepest hop.
+    #[must_use]
+    pub fn absorb(self, other: TraceContext) -> TraceContext {
+        TraceContext {
+            origin_micros: self.origin_micros.min(other.origin_micros),
+            hop: self.hop.max(other.hop),
+        }
+    }
+
+    /// The context a relay stamps on a packet recoded from inputs with
+    /// this (already absorbed) lineage: one hop deeper, same origin.
+    #[must_use]
+    pub fn next_hop(self) -> TraceContext {
+        TraceContext { origin_micros: self.origin_micros, hop: self.hop.saturating_add(1) }
+    }
+
+    /// Origin→now latency in microseconds (0 for clock skew into the
+    /// future, rather than a bogus huge value).
+    #[must_use]
+    pub fn latency_micros(&self) -> u64 {
+        TraceContext::now_micros().saturating_sub(self.origin_micros)
+    }
+
+    /// Number of overlay links the information crossed to reach whoever
+    /// holds this packet: the recode depth plus the final delivery link.
+    #[must_use]
+    pub fn links(&self) -> usize {
+        usize::from(self.hop) + 1
+    }
+}
+
+fn encode_trace(out: &mut Vec<u8>, trace: &TraceContext) {
+    out.extend_from_slice(&trace.origin_micros.to_le_bytes());
+    out.extend_from_slice(&trace.hop.to_le_bytes());
+}
+
+fn decode_trace(body: &[u8]) -> TraceContext {
+    debug_assert!(body.len() >= TRACE_CONTEXT_BYTES);
+    TraceContext {
+        origin_micros: u64::from_le_bytes(body[0..8].try_into().expect("8 bytes")),
+        hop: u16::from_le_bytes(body[8..10].try_into().expect("2 bytes")),
+    }
+}
 
 /// Message kind discriminants as they appear on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,6 +224,8 @@ pub enum Message {
     DataHeader {
         /// Sender-unique transfer identifier.
         transfer: u64,
+        /// Causal lineage of the offered packet.
+        trace: TraceContext,
         /// Advertised payload size `m` of the packet on offer.
         payload_size: usize,
         /// The packet's code vector (length `k`).
@@ -144,6 +235,9 @@ pub enum Message {
     DataPayload {
         /// Transfer identifier this payload answers.
         transfer: u64,
+        /// Causal lineage of the delivered packet (stamped at offer
+        /// time, so the receiver's `now − origin` covers the handshake).
+        trace: TraceContext,
         /// The encoded packet.
         packet: EncodedPacket,
     },
@@ -211,15 +305,17 @@ pub fn encode(header: &EnvelopeHeader, message: &Message) -> Vec<u8> {
     out.extend_from_slice(&header.session.to_le_bytes());
     out.extend_from_slice(&header.generation.to_le_bytes());
     match message {
-        Message::DataHeader { transfer, payload_size, vector } => {
+        Message::DataHeader { transfer, trace, payload_size, vector } => {
             out.extend_from_slice(&transfer.to_le_bytes());
+            encode_trace(&mut out, trace);
             // The body reuses the gf2 wire header layout verbatim (k, m,
             // bitmap), so receivers decode it with gf2's own header-first
             // decoder.
             out.extend_from_slice(&gf2_wire::encode_header(vector, *payload_size));
         }
-        Message::DataPayload { transfer, packet } => {
+        Message::DataPayload { transfer, trace, packet } => {
             out.extend_from_slice(&transfer.to_le_bytes());
+            encode_trace(&mut out, trace);
             out.extend_from_slice(&gf2_wire::encode(packet));
         }
         Message::Feedback { transfer, .. } => {
@@ -296,7 +392,7 @@ fn frame_len(kind: MessageKind, bytes: &[u8]) -> Result<usize, NetError> {
             Ok(body_start + TRANSFER_ID_BYTES)
         }
         MessageKind::DataHeader | MessageKind::DataPayload => {
-            let wire_start = body_start + TRANSFER_ID_BYTES;
+            let wire_start = body_start + TRANSFER_ID_BYTES + TRACE_CONTEXT_BYTES;
             let fixed_end = wire_start + gf2_wire::FIXED_HEADER_BYTES;
             if bytes.len() < fixed_end {
                 return Err(NetError::Truncated { have: bytes.len(), needed: fixed_end });
@@ -367,14 +463,17 @@ pub fn decode(bytes: &[u8]) -> Result<Envelope, NetError> {
         }
         MessageKind::DataHeader => {
             let transfer = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
-            let (k, m, vector) = gf2_wire::decode_header(&body[TRANSFER_ID_BYTES..])?;
+            let trace = decode_trace(&body[TRANSFER_ID_BYTES..]);
+            let wire = &body[TRANSFER_ID_BYTES + TRACE_CONTEXT_BYTES..];
+            let (k, m, vector) = gf2_wire::decode_header(wire)?;
             debug_assert_eq!(vector.len(), k);
-            Message::DataHeader { transfer, payload_size: m, vector }
+            Message::DataHeader { transfer, trace, payload_size: m, vector }
         }
         MessageKind::DataPayload => {
             let transfer = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
-            let packet = gf2_wire::decode(&body[TRANSFER_ID_BYTES..])?;
-            Message::DataPayload { transfer, packet }
+            let trace = decode_trace(&body[TRANSFER_ID_BYTES..]);
+            let packet = gf2_wire::decode(&body[TRANSFER_ID_BYTES + TRACE_CONTEXT_BYTES..])?;
+            Message::DataPayload { transfer, trace, packet }
         }
     };
     Ok(Envelope { header, message })
@@ -391,6 +490,10 @@ mod tests {
 
     fn sample_packet() -> EncodedPacket {
         EncodedPacket::new(CodeVector::from_indices(21, &[0, 5, 20]), Payload::from_vec(vec![7; 9]))
+    }
+
+    fn sample_trace() -> TraceContext {
+        TraceContext { origin_micros: 1_234_567, hop: 2 }
     }
 
     #[test]
@@ -417,19 +520,25 @@ mod tests {
         let packet = sample_packet();
         let msg = Message::DataHeader {
             transfer: 77,
+            trace: sample_trace(),
             payload_size: packet.payload_size(),
             vector: packet.vector().clone(),
         };
         let bytes = encode(&header(MessageKind::DataHeader), &msg);
-        // Envelope + transfer id + gf2 header; no payload bytes.
+        // Envelope + transfer id + trace context + gf2 header; no
+        // payload bytes.
         assert_eq!(
             bytes.len(),
-            ENVELOPE_HEADER_BYTES + 8 + gf2_wire::header_size(packet.code_length())
+            ENVELOPE_HEADER_BYTES
+                + 8
+                + TRACE_CONTEXT_BYTES
+                + gf2_wire::header_size(packet.code_length())
         );
         let decoded = decode(&bytes).unwrap();
         match decoded.message {
-            Message::DataHeader { transfer, payload_size, vector } => {
+            Message::DataHeader { transfer, trace, payload_size, vector } => {
                 assert_eq!(transfer, 77);
+                assert_eq!(trace, sample_trace());
                 assert_eq!(payload_size, 9);
                 assert_eq!(&vector, packet.vector());
             }
@@ -440,16 +549,37 @@ mod tests {
     #[test]
     fn data_payload_roundtrip() {
         let packet = sample_packet();
-        let msg = Message::DataPayload { transfer: 5, packet: packet.clone() };
+        let msg =
+            Message::DataPayload { transfer: 5, trace: sample_trace(), packet: packet.clone() };
         let bytes = encode(&header(MessageKind::DataPayload), &msg);
         let decoded = decode(&bytes).unwrap();
         match decoded.message {
-            Message::DataPayload { transfer, packet: p } => {
+            Message::DataPayload { transfer, trace, packet: p } => {
                 assert_eq!(transfer, 5);
+                assert_eq!(trace, sample_trace());
                 assert_eq!(p, packet);
             }
             other => panic!("wrong message {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_context_lineage_rules() {
+        let fresh = TraceContext::origin_now();
+        assert_eq!(fresh.hop, 0);
+        assert_eq!(fresh.links(), 1);
+        // A relay absorbs: earliest origin, deepest hop, then stamps +1.
+        let a = TraceContext { origin_micros: 500, hop: 1 };
+        let b = TraceContext { origin_micros: 900, hop: 3 };
+        let stamped = a.absorb(b).next_hop();
+        assert_eq!(stamped, TraceContext { origin_micros: 500, hop: 4 });
+        assert_eq!(stamped.links(), 5);
+        // Hop depth saturates instead of wrapping.
+        let deep = TraceContext { origin_micros: 1, hop: u16::MAX };
+        assert_eq!(deep.next_hop().hop, u16::MAX);
+        // Clock skew into the future reads as zero latency, not 2^64.
+        let future = TraceContext { origin_micros: u64::MAX, hop: 0 };
+        assert_eq!(future.latency_micros(), 0);
     }
 
     #[test]
@@ -478,13 +608,18 @@ mod tests {
                 &header(MessageKind::DataHeader),
                 &Message::DataHeader {
                     transfer: 2,
+                    trace: sample_trace(),
                     payload_size: packet.payload_size(),
                     vector: packet.vector().clone(),
                 },
             ),
             encode(
                 &header(MessageKind::DataPayload),
-                &Message::DataPayload { transfer: 3, packet: packet.clone() },
+                &Message::DataPayload {
+                    transfer: 3,
+                    trace: sample_trace(),
+                    packet: packet.clone(),
+                },
             ),
             encode(&header(MessageKind::Request), &Message::Request),
             encode(
@@ -511,7 +646,7 @@ mod tests {
         let packet = sample_packet();
         let frame = encode(
             &header(MessageKind::DataPayload),
-            &Message::DataPayload { transfer: 3, packet },
+            &Message::DataPayload { transfer: 3, trace: sample_trace(), packet },
         );
         let mut have = 0;
         loop {
@@ -577,10 +712,11 @@ mod tests {
             &header(MessageKind::DataPayload),
             &Message::DataPayload {
                 transfer: 1,
+                trace: sample_trace(),
                 packet: EncodedPacket::new(CodeVector::zero(8), Payload::zero(4)),
             },
         );
-        let wire_start = ENVELOPE_HEADER_BYTES + 8;
+        let wire_start = ENVELOPE_HEADER_BYTES + 8 + TRACE_CONTEXT_BYTES;
         bytes[wire_start..wire_start + 4].copy_from_slice(&(1u32 << 31).to_le_bytes());
         assert!(matches!(decode(&bytes), Err(NetError::FrameTooLarge { .. })));
     }

@@ -665,6 +665,23 @@ impl DatagramFaultCounters {
         self.delayed_out += other.delayed_out;
     }
 
+    /// The per-field difference `self − previous`, saturating at zero —
+    /// what an interval scraper needs to turn two cumulative snapshots
+    /// into the faults injected *between* them.
+    #[must_use]
+    pub fn snapshot_delta(&self, previous: &DatagramFaultCounters) -> DatagramFaultCounters {
+        DatagramFaultCounters {
+            dropped_in: self.dropped_in.saturating_sub(previous.dropped_in),
+            dropped_out: self.dropped_out.saturating_sub(previous.dropped_out),
+            duplicated_in: self.duplicated_in.saturating_sub(previous.duplicated_in),
+            duplicated_out: self.duplicated_out.saturating_sub(previous.duplicated_out),
+            reordered_in: self.reordered_in.saturating_sub(previous.reordered_in),
+            reordered_out: self.reordered_out.saturating_sub(previous.reordered_out),
+            delayed_in: self.delayed_in.saturating_sub(previous.delayed_in),
+            delayed_out: self.delayed_out.saturating_sub(previous.delayed_out),
+        }
+    }
+
     /// Total datagrams affected by any fault, either direction.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -1167,6 +1184,26 @@ mod tests {
 
     fn bytes(n: usize) -> Vec<u8> {
         (0..n).map(|i| (i * 7 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_per_field_and_saturates() {
+        let earlier =
+            DatagramFaultCounters { dropped_in: 3, delayed_out: 10, ..Default::default() };
+        let later = DatagramFaultCounters {
+            dropped_in: 8,
+            duplicated_in: 2,
+            delayed_out: 10,
+            ..Default::default()
+        };
+        let delta = later.snapshot_delta(&earlier);
+        assert_eq!(delta.dropped_in, 5);
+        assert_eq!(delta.duplicated_in, 2);
+        assert_eq!(delta.delayed_out, 0, "unchanged counters delta to zero");
+        assert_eq!(delta.total(), 7);
+        // A stale "later" snapshot (e.g. counters from a reset socket)
+        // must clamp, not wrap.
+        assert_eq!(earlier.snapshot_delta(&later).dropped_in, 0);
     }
 
     fn drain(stream: &mut FaultyStream<Cursor<Vec<u8>>>) -> (Vec<u8>, Option<io::ErrorKind>) {

@@ -69,16 +69,18 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use ltnc_gf2::EncodedPacket;
-use ltnc_metrics::{OpCounters, WireCounters};
+use ltnc_metrics::{HopLatency, LogHistogramSnapshot, OpCounters, WireCounters};
 use ltnc_scheme::SchemeParams;
 use ltnc_telemetry::{
-    wire_samples, MetricsRegistry, ScrapeOptions, ScrapeServer, TimedEvent, TraceEvent, TraceSink,
-    Tracer,
+    hop_latency_histograms, wire_samples, MetricsRegistry, ScrapeOptions, ScrapeServer, TimedEvent,
+    TraceEvent, TraceSink, Tracer,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::envelope::{self, Envelope, EnvelopeHeader, Message, MessageKind, GENERATION_OBJECT};
+use crate::envelope::{
+    self, Envelope, EnvelopeHeader, Message, MessageKind, TraceContext, GENERATION_OBJECT,
+};
 use crate::faults::{DatagramFaultCounters, DatagramFaultPlan, DatagramFaults, FaultySocket};
 use crate::generation::{ObjectManifest, ReceiverSession, SourceSession};
 
@@ -265,6 +267,11 @@ pub struct PeerReport {
     /// [`crate::SwarmConfig::trace_capacity`] set); empty when no sink
     /// was attached or the sink is owned by the caller.
     pub events: Vec<TimedEvent>,
+    /// Origin→delivery latency distributions from wire-carried trace
+    /// contexts, one entry per populated hop depth (number of overlay
+    /// links crossed), sorted by depth. Sources (which deliver nothing)
+    /// report an empty list.
+    pub latency_by_hop: Vec<(usize, LogHistogramSnapshot)>,
 }
 
 enum Control {
@@ -281,6 +288,10 @@ struct Shared {
     /// gossip tick — only when a metrics endpoint is attached
     /// ([`NodeOptions::metrics_bind`]); never touched otherwise.
     wire: Mutex<WireCounters>,
+    /// Origin→delivery latency histograms keyed by hop depth, recorded
+    /// lock-free by the actor on every payload arrival and read live by
+    /// the scrape endpoint mid-run.
+    latency: HopLatency,
 }
 
 impl Shared {
@@ -291,6 +302,7 @@ impl Shared {
             inbound_dropped: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             wire: Mutex::new(WireCounters::new()),
+            latency: HopLatency::new(),
         }
     }
 
@@ -378,6 +390,10 @@ impl PeerNode {
                 let wire_shared = Arc::clone(&shared);
                 registry.register("wire", &node_label, move || {
                     wire_samples(&wire_shared.wire_snapshot())
+                });
+                let latency_shared = Arc::clone(&shared);
+                registry.register_histograms("wire", &node_label, move || {
+                    hop_latency_histograms(&latency_shared.latency)
                 });
                 let fault_handle = socket.try_clone()?;
                 registry.register("faults", &node_label, move || {
@@ -522,6 +538,11 @@ fn socket_loop(socket: &FaultySocket, events: &SyncSender<(Vec<u8>, SocketAddr)>
 struct PendingTransfer {
     generation: u32,
     packet: EncodedPacket,
+    /// The trace context stamped on the offer, echoed verbatim on the
+    /// payload — so the delivered frame carries the true origin send
+    /// time (including the offer/feedback round trip, which is real
+    /// dissemination latency).
+    trace: TraceContext,
     to: SocketAddr,
     born: Instant,
 }
@@ -562,6 +583,11 @@ struct Actor {
     peer_done: HashMap<SocketAddr, HashSet<u32>>,
     object_done: HashSet<SocketAddr>,
     announced: HashSet<u32>,
+    /// Per-generation recode lineage (relays only): the merged trace of
+    /// every payload delivered for that generation — earliest origin
+    /// stamp, deepest hop count — so recoded offers advertise the true
+    /// critical path of the data they are built from.
+    lineage: HashMap<u32, TraceContext>,
     wire: WireCounters,
     shared: Arc<Shared>,
     shutdown: bool,
@@ -609,6 +635,7 @@ impl Actor {
             peer_done: HashMap::new(),
             object_done: HashSet::new(),
             announced: HashSet::new(),
+            lineage: HashMap::new(),
             wire: WireCounters::new(),
             shared,
             shutdown: false,
@@ -694,6 +721,7 @@ impl Actor {
             rtt_estimates,
             link_faults: self.socket.link_counters(),
             events: Vec::new(),
+            latency_by_hop: self.shared.latency.snapshot(),
         }
     }
 
@@ -841,7 +869,7 @@ impl Actor {
         self.wire.bytes_received += bytes.len() as u64;
         let Envelope { header, message } = envelope;
         match message {
-            Message::DataHeader { transfer, payload_size, vector } => {
+            Message::DataHeader { transfer, payload_size, vector, .. } => {
                 let generation = header.generation;
                 let accept = payload_size == self.params.payload_size
                     && self.receiver.as_ref().is_some_and(|r| r.would_accept(generation, &vector));
@@ -903,14 +931,27 @@ impl Actor {
                     self.send(
                         pending.to,
                         &self.header(MessageKind::DataPayload, pending.generation),
-                        &Message::DataPayload { transfer, packet: pending.packet },
+                        &Message::DataPayload {
+                            transfer,
+                            trace: pending.trace,
+                            packet: pending.packet,
+                        },
                     );
                 } else {
                     self.wire.transfers_aborted += 1;
                 }
             }
-            Message::DataPayload { packet, .. } => {
+            Message::DataPayload { trace, packet, .. } => {
                 let generation = header.generation;
+                // The wire-carried trace is the arriving data's whole
+                // history: record the true origin→delivery latency at
+                // this hop depth, and fold the lineage into what our own
+                // recoded offers for this generation will advertise.
+                self.shared.latency.record(trace.links(), trace.latency_micros());
+                self.lineage
+                    .entry(generation)
+                    .and_modify(|known| *known = known.absorb(trace))
+                    .or_insert(trace);
                 let (useful, newly_complete, object_complete) = {
                     let Some(receiver) = self.receiver.as_mut() else { return };
                     let was_complete = receiver.generation_complete(generation);
@@ -1037,6 +1078,20 @@ impl Actor {
             self.tracer.emit(|| TraceEvent::RelayRecode { generation });
         }
 
+        // Sources start a fresh lineage (hop 0, stamped now); relays
+        // extend the merged lineage of the payloads the recode is built
+        // from. A relay racing ahead of its own lineage record (possible
+        // only if it never received a payload, which the gate prevents)
+        // degrades to a fresh origin stamp.
+        let trace = if self.source.is_some() {
+            TraceContext::origin_now()
+        } else {
+            self.lineage
+                .get(&generation)
+                .copied()
+                .map(TraceContext::next_hop)
+                .unwrap_or_else(TraceContext::origin_now)
+        };
         let transfer = self.next_transfer;
         self.next_transfer += 1;
         self.send(
@@ -1044,6 +1099,7 @@ impl Actor {
             &self.header(MessageKind::DataHeader, generation),
             &Message::DataHeader {
                 transfer,
+                trace,
                 payload_size: packet.payload_size(),
                 vector: packet.vector().clone(),
             },
@@ -1052,7 +1108,7 @@ impl Actor {
         self.tracer.emit(|| TraceEvent::OfferSent { peer: target, generation });
         self.pending.insert(
             transfer,
-            PendingTransfer { generation, packet, to: target, born: Instant::now() },
+            PendingTransfer { generation, packet, trace, to: target, born: Instant::now() },
         );
         *self.inflight_per_peer.entry(target).or_insert(0) += 1;
     }

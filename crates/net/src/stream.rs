@@ -154,6 +154,7 @@ mod tests {
                 &header(MessageKind::DataHeader),
                 &Message::DataHeader {
                     transfer: 5,
+                    trace: envelope::TraceContext { origin_micros: 42, hop: 1 },
                     payload_size: packet.payload_size(),
                     vector: packet.vector().clone(),
                 },
@@ -164,7 +165,11 @@ mod tests {
             ),
             encode(
                 &header(MessageKind::DataPayload),
-                &Message::DataPayload { transfer: 5, packet },
+                &Message::DataPayload {
+                    transfer: 5,
+                    trace: envelope::TraceContext { origin_micros: 42, hop: 1 },
+                    packet,
+                },
             ),
             encode(&header(MessageKind::Complete), &Message::Complete),
         ]

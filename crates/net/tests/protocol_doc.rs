@@ -6,7 +6,8 @@
 
 use ltnc_gf2::{CodeVector, EncodedPacket, Payload};
 use ltnc_net::envelope::{
-    self, EnvelopeHeader, Message, MessageKind, ENVELOPE_HEADER_BYTES, MAGIC, PROTOCOL_VERSION,
+    self, EnvelopeHeader, Message, MessageKind, TraceContext, ENVELOPE_HEADER_BYTES, MAGIC,
+    PROTOCOL_VERSION,
 };
 use ltnc_scheme::SchemeKind;
 
@@ -57,6 +58,7 @@ fn reference_frame(kind_name: &str) -> (MessageKind, Vec<u8>) {
                 &header(MessageKind::DataHeader),
                 &Message::DataHeader {
                     transfer: 1,
+                    trace: TraceContext { origin_micros: 1_000_000, hop: 1 },
                     payload_size: packet.payload_size(),
                     vector: packet.vector().clone(),
                 },
@@ -66,7 +68,11 @@ fn reference_frame(kind_name: &str) -> (MessageKind, Vec<u8>) {
             MessageKind::DataPayload,
             envelope::encode(
                 &header(MessageKind::DataPayload),
-                &Message::DataPayload { transfer: 2, packet },
+                &Message::DataPayload {
+                    transfer: 2,
+                    trace: TraceContext { origin_micros: 1_000_000, hop: 1 },
+                    packet,
+                },
             ),
         ),
         "FEEDBACK-ABORT" => (
@@ -134,7 +140,7 @@ fn header_offset_table_matches_the_encoder() {
             "version" => {
                 assert_eq!((offset, size), (4, 1));
                 assert_eq!(bytes[offset], PROTOCOL_VERSION);
-                assert!(row[3].contains('1'), "documented version must be 1");
+                assert!(row[3].contains('2'), "documented version must be 2");
             }
             "kind" => {
                 assert_eq!((offset, size), (5, 1));

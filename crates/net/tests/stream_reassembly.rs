@@ -14,6 +14,10 @@ fn header(kind: MessageKind, scheme: SchemeKind, generation: u32) -> EnvelopeHea
     EnvelopeHeader { kind, scheme, session: 0xD0_5E55, generation }
 }
 
+fn random_trace(rng: &mut SmallRng) -> envelope::TraceContext {
+    envelope::TraceContext { origin_micros: rng.gen(), hop: rng.gen::<u32>() as u16 }
+}
+
 fn random_packet(rng: &mut SmallRng) -> EncodedPacket {
     let k = rng.gen_range(1..64usize);
     let m = rng.gen_range(1..100usize);
@@ -52,11 +56,16 @@ fn random_stream(seed: u64, frames: usize) -> (Vec<Envelope>, Vec<u8>) {
                 let packet = random_packet(&mut rng);
                 Message::DataHeader {
                     transfer: rng.gen(),
+                    trace: random_trace(&mut rng),
                     payload_size: packet.payload_size(),
                     vector: packet.vector().clone(),
                 }
             }
-            _ => Message::DataPayload { transfer: rng.gen(), packet: random_packet(&mut rng) },
+            _ => Message::DataPayload {
+                transfer: rng.gen(),
+                trace: random_trace(&mut rng),
+                packet: random_packet(&mut rng),
+            },
         };
         let kind = message.kind();
         let generation = if kind == MessageKind::Request { GENERATION_OBJECT } else { generation };

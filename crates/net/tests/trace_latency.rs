@@ -1,0 +1,139 @@
+//! End-to-end validation of the wire-carried trace context (PR 7): a
+//! 4-hop line under 20% per-link loss must (a) expose non-empty
+//! `ltnc_*_bucket{le="…"}` latency histograms on a node's live scrape
+//! endpoint *mid-run*, and (b) end with per-hop origin→delivery
+//! distributions in the shutdown reports whose depths reflect the
+//! recode lineage the envelopes carried.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ltnc_net::faults::DatagramFaultPlan;
+use ltnc_net::generation::split_object;
+use ltnc_net::{NodeConfig, NodeOptions, NodeRole, PeerNode};
+use ltnc_scheme::{SchemeKind, SchemeParams};
+
+fn loopback() -> SocketAddr {
+    "127.0.0.1:0".parse().expect("valid addr")
+}
+
+/// One blocking HTTP GET against a scrape endpoint, body returned.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("scrape endpoint reachable");
+    stream.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .expect("request written");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+#[test]
+fn four_hop_line_scrapes_latency_histograms_mid_run() {
+    // Line S(0) - 1 - 2 - 3 - 4 with every directed link dropping 20%.
+    let params = SchemeParams::new(SchemeKind::Ltnc, 8, 16);
+    let object: Vec<u8> = (0..600u32).map(|i| (i * 31 % 256) as u8).collect();
+    let manifest = split_object(&object, params).0;
+    let session = 0x7_EACE;
+    let options = |seed: u64, metrics: bool| NodeOptions {
+        tick: Duration::from_millis(1),
+        seed,
+        metrics_bind: metrics.then(loopback),
+        ..NodeOptions::default()
+    };
+
+    let mut nodes = Vec::new();
+    for i in 0..5usize {
+        let role = if i == 0 {
+            NodeRole::Source { object: object.clone(), params }
+        } else {
+            NodeRole::Peer { manifest }
+        };
+        // Only the far end of the line serves a scrape endpoint: its
+        // histograms can only fill through the whole lossy chain.
+        let config = NodeConfig::new(session, role, options(0xBEEF + i as u64, i == 4));
+        nodes.push(PeerNode::spawn(loopback(), config).expect("spawn"));
+    }
+    let addrs: Vec<SocketAddr> = nodes.iter().map(PeerNode::local_addr).collect();
+    let scrape_addr = nodes[4].metrics_addr().expect("node 4 serves metrics");
+
+    // 20% loss on every directed link of the line, installed before the
+    // starting gun (set_peers).
+    for (i, node) in nodes.iter().enumerate() {
+        for neighbor in [i.wrapping_sub(1), i + 1] {
+            if neighbor < 5 && neighbor.abs_diff(i) == 1 {
+                let seed = 0xD0_5E ^ ((neighbor as u64) << 8 | i as u64);
+                node.set_link_faults(
+                    addrs[neighbor],
+                    DatagramFaultPlan::clean(seed).drop_rate(0.2),
+                );
+            }
+        }
+    }
+    let push_targets: [&[usize]; 5] = [&[1], &[2], &[1, 3], &[2, 4], &[3]];
+    for (i, node) in nodes.iter().enumerate() {
+        node.set_peers(push_targets[i].iter().map(|&j| addrs[j]).collect());
+    }
+
+    // Mid-run: poll the far node's live scrape until the latency
+    // histogram shows up with cumulative le-buckets — while the
+    // dissemination is still in flight or just done, but before any
+    // shutdown.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut exposition = String::new();
+    while Instant::now() < deadline {
+        exposition = http_get(scrape_addr, "/metrics");
+        if exposition.contains("ltnc_wire_delivery_latency_us_bucket") {
+            break;
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        exposition.contains("ltnc_wire_delivery_latency_us_bucket"),
+        "mid-run scrape never exposed a latency histogram:\n{exposition}"
+    );
+    assert!(exposition.contains("le=\"+Inf\""), "histogram must end at +Inf");
+    assert!(
+        exposition.lines().any(|line| {
+            line.starts_with("ltnc_wire_delivery_latency_us_bucket")
+                && line.contains("le=\"")
+                && !line.trim_end().ends_with(" 0")
+        }),
+        "at least one le-bucket must be non-empty mid-run:\n{exposition}"
+    );
+    assert!(exposition.contains("ltnc_wire_delivery_latency_us_count"));
+    assert!(http_get(scrape_addr, "/healthz").contains("ok"), "/healthz must answer");
+
+    // Let the run converge, then check the report-level view.
+    let complete_deadline = Instant::now() + Duration::from_secs(30);
+    while nodes[1..].iter().any(|p| !p.is_complete()) && Instant::now() < complete_deadline {
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert!(nodes[1..].iter().all(PeerNode::is_complete), "line did not converge");
+
+    let reports: Vec<_> = nodes.into_iter().map(PeerNode::shutdown).collect();
+    assert_eq!(reports[4].object.as_deref(), Some(&object[..]), "bit-exact at 4 hops");
+    assert!(reports[0].latency_by_hop.is_empty(), "the source receives no payloads");
+
+    // Every receiving node recorded origin→delivery latency, keyed by
+    // the lineage depth the wire carried. The immediate neighbour of the
+    // source must have seen depth-1 data; deeper nodes see deeper
+    // lineage (relays recode, so exact depths beyond 1 depend on the
+    // gossip paths taken — but depth must never be zero).
+    for (i, report) in reports.iter().enumerate().skip(1) {
+        assert!(!report.latency_by_hop.is_empty(), "node {i} recorded no latency");
+        for (depth, snapshot) in &report.latency_by_hop {
+            assert!(*depth >= 1, "links crossed is at least one");
+            assert!(snapshot.count() > 0);
+            assert!(snapshot.p50() <= snapshot.p99(), "quantiles must be ordered");
+            assert!(snapshot.p99() <= snapshot.quantile(1.0));
+        }
+    }
+    assert!(
+        reports[1].latency_by_hop.iter().any(|&(depth, _)| depth == 1),
+        "the source's neighbour must see depth-1 deliveries, got {:?}",
+        reports[1].latency_by_hop.iter().map(|&(d, _)| d).collect::<Vec<_>>()
+    );
+}

@@ -26,7 +26,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ltnc_metrics::{
-    HopCounters, HopStats, ReplicaCounters, ServeCounters, StripeCounters, WireCounters,
+    HopCounters, HopStats, LogHistogramSnapshot, ReplicaCounters, ServeCounters, StripeCounters,
+    WireCounters,
 };
 use ltnc_scheme::{SchemeKind, SchemeParams};
 use ltnc_serve::{fetch, ClientOptions, ServeOptions, Server};
@@ -204,6 +205,9 @@ struct SchemeOutcome {
     scheme: SchemeKind,
     counters: ServeCounters,
     client_wire: WireCounters,
+    /// Origin→delivery latency merged over every client's fetch (the
+    /// wire-carried trace context of each delivered payload).
+    client_latency: LogHistogramSnapshot,
     elapsed: Duration,
     throughput_mib: f64,
 }
@@ -257,7 +261,7 @@ fn run_scheme(
         .map(|c| {
             let objects = objects.clone();
             let n_objects = args.objects;
-            thread::spawn(move || -> Result<WireCounters, String> {
+            thread::spawn(move || -> Result<(WireCounters, LogHistogramSnapshot), String> {
                 let mut rng = SmallRng::seed_from_u64(CLIENT_SEED + c as u64);
                 let id = pick_object(&mut rng, n_objects);
                 let report = fetch(addr, id, scheme, &client_options)
@@ -267,18 +271,20 @@ fn run_scheme(
                 if report.object != ***expected {
                     return Err(format!("client {c}: object {id} reassembled WRONG"));
                 }
-                Ok(report.wire)
+                Ok((report.wire, report.latency))
             })
         })
         .collect();
 
     let mut client_wire = WireCounters::new();
+    let mut client_latency = LogHistogramSnapshot::empty();
     let mut completed_clients = 0u64;
     let mut failures = Vec::new();
     for handle in handles {
         match handle.join().expect("client thread panicked") {
-            Ok(wire) => {
+            Ok((wire, latency)) => {
                 client_wire.merge(&wire);
+                client_latency.merge(&latency);
                 completed_clients += 1;
             }
             Err(e) => failures.push(e),
@@ -335,7 +341,7 @@ fn run_scheme(
     }
     let throughput_mib =
         client_wire.bytes_received as f64 / (1 << 20) as f64 / elapsed.as_secs_f64();
-    Ok(SchemeOutcome { scheme, counters, client_wire, elapsed, throughput_mib })
+    Ok(SchemeOutcome { scheme, counters, client_wire, client_latency, elapsed, throughput_mib })
 }
 
 fn outcome_row(outcome: &SchemeOutcome, clients: usize) -> String {
@@ -371,10 +377,22 @@ fn render_report(args: &Args, outcomes: &[SchemeOutcome]) -> String {
         .map(|outcome| {
             let counters = &outcome.counters;
             let wire = &outcome.client_wire;
+            let latency = &outcome.client_latency;
             JsonValue::object()
                 .field("scheme", outcome.scheme.label())
                 .field("elapsed_secs", outcome.elapsed.as_secs_f64())
                 .field("throughput_mib_s", outcome.throughput_mib)
+                .field(
+                    "latency",
+                    JsonValue::object()
+                        .field("unit", "us")
+                        .field("count", latency.count())
+                        .field("mean", latency.mean())
+                        .field("p50", latency.p50())
+                        .field("p90", latency.p90())
+                        .field("p99", latency.p99())
+                        .field("max", latency.quantile(1.0)),
+                )
                 .field(
                     "server",
                     JsonValue::object()
@@ -401,6 +419,7 @@ fn render_report(args: &Args, outcomes: &[SchemeOutcome]) -> String {
         })
         .collect();
     JsonValue::object()
+        .field("schema_version", ltnc_telemetry::json::REPORT_SCHEMA_VERSION)
         .field("example", "cache_serving")
         .field("config", config)
         .field("schemes", JsonValue::array(schemes))

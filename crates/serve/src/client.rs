@@ -28,7 +28,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-use ltnc_metrics::{ReplicaCounters, WireCounters};
+use ltnc_metrics::{HopLatency, LogHistogramSnapshot, ReplicaCounters, WireCounters};
 use ltnc_net::envelope::{self, EnvelopeHeader, Message, MessageKind, GENERATION_OBJECT};
 use ltnc_net::stream::FrameReassembler;
 use ltnc_scheme::{SchemeKind, SchemeParams};
@@ -82,6 +82,10 @@ pub struct FetchReport {
     pub wire: WireCounters,
     /// Wall-clock time from connect to reassembly.
     pub elapsed: Duration,
+    /// Distribution of per-payload offer→delivery latency (microseconds),
+    /// measured from the wire-carried trace context the server stamps at
+    /// offer time.
+    pub latency: LogHistogramSnapshot,
 }
 
 /// One open serving session to one server, with its framing state and
@@ -92,6 +96,7 @@ pub struct ReplicaConn {
     reassembler: FrameReassembler,
     wire: WireCounters,
     stripe: ReplicaCounters,
+    latency: HopLatency,
     manifest: ObjectManifest,
     object_id: u64,
 }
@@ -122,6 +127,7 @@ impl ReplicaConn {
             reassembler: FrameReassembler::new(),
             wire: WireCounters::new(),
             stripe: ReplicaCounters::default(),
+            latency: HopLatency::new(),
             // Placeholder until the real manifest arrives below.
             manifest: ObjectManifest { object_len: 0, params: SchemeParams::new(scheme, 1, 1) },
             object_id,
@@ -190,6 +196,13 @@ impl ReplicaConn {
     #[must_use]
     pub fn wire_counters(&self) -> WireCounters {
         self.wire
+    }
+
+    /// Merged offer→delivery latency distribution of every payload this
+    /// connection has received (microseconds, from wire trace contexts).
+    #[must_use]
+    pub fn latency_snapshot(&self) -> LogHistogramSnapshot {
+        self.latency.total()
     }
 
     /// The per-generation fetch primitive: pulls the generations in
@@ -266,7 +279,7 @@ impl ReplicaConn {
                     Message::Manifest { .. } => {
                         return Err(ServeError::UnexpectedMessage("second MANIFEST"));
                     }
-                    Message::DataHeader { transfer, payload_size, vector } => {
+                    Message::DataHeader { transfer, payload_size, vector, .. } => {
                         self.stripe.offers_seen += 1;
                         let accept = payload_size == self.manifest.params.payload_size
                             && lease.contains(&generation)
@@ -283,9 +296,10 @@ impl ReplicaConn {
                         let header = self.header(kind, generation);
                         self.send(&header, &Message::Feedback { transfer, accept })?;
                     }
-                    Message::DataPayload { packet, .. } => {
+                    Message::DataPayload { trace, packet, .. } => {
                         self.wire.transfers_delivered += 1;
                         self.stripe.delivered += 1;
+                        self.latency.record(trace.links(), trace.latency_micros());
                         let outcome = receiver.deliver(generation, &packet);
                         if outcome.useful {
                             self.wire.useful_deliveries += 1;
@@ -423,5 +437,11 @@ pub fn fetch(
     if object.len() as u64 != manifest.object_len {
         return Err(ServeError::Corrupt("reassembled length != manifest"));
     }
-    Ok(FetchReport { object, manifest, wire: conn.wire_counters(), elapsed: started.elapsed() })
+    Ok(FetchReport {
+        object,
+        manifest,
+        wire: conn.wire_counters(),
+        elapsed: started.elapsed(),
+        latency: conn.latency_snapshot(),
+    })
 }

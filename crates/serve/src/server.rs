@@ -35,13 +35,16 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use ltnc_gf2::EncodedPacket;
-use ltnc_metrics::ServeCounters;
-use ltnc_net::envelope::{self, EnvelopeHeader, Message, MessageKind, GENERATION_OBJECT};
+use ltnc_metrics::{LogHistogram, ServeCounters};
+use ltnc_net::envelope::{
+    self, EnvelopeHeader, Message, MessageKind, TraceContext, GENERATION_OBJECT,
+};
 use ltnc_net::stream::FrameReassembler;
 use ltnc_scheme::SchemeParams;
 use ltnc_session::generation::ObjectManifest;
 use ltnc_telemetry::{
-    serve_samples, MetricsRegistry, ScrapeOptions, ScrapeServer, TraceEvent, TraceSink, Tracer,
+    serve_samples, HistogramSample, MetricsRegistry, ScrapeOptions, ScrapeServer, TraceEvent,
+    TraceSink, Tracer,
 };
 
 use crate::store::ObjectStore;
@@ -60,6 +63,11 @@ struct ServeStats {
     transfers_offered: AtomicU64,
     transfers_aborted: AtomicU64,
     transfers_delivered: AtomicU64,
+    /// Wall-clock duration of each finished session in microseconds
+    /// (from accepted connection to close, whatever the outcome) —
+    /// served live as a `session_micros` histogram on the scrape
+    /// endpoint.
+    session_micros: LogHistogram,
 }
 
 /// Handle to a running edge-cache server.
@@ -157,10 +165,20 @@ impl Server {
         let scrape = match options.metrics_bind {
             Some(addr) => {
                 let registry = Arc::new(MetricsRegistry::new());
+                let server_label = [("server", local_addr.to_string())];
+                let hist_stats = Arc::clone(&stats);
                 let store = Arc::clone(&store);
                 let stats = Arc::clone(&stats);
-                registry.register("serve", &[("server", local_addr.to_string())], move || {
+                registry.register("serve", &server_label, move || {
                     serve_samples(&snapshot(&store, &stats))
+                });
+                registry.register_histograms("serve", &server_label, move || {
+                    let snapshot = hist_stats.session_micros.snapshot();
+                    if snapshot.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![HistogramSample::plain("session_micros", snapshot)]
+                    }
                 });
                 Some(ScrapeServer::spawn(addr, registry, ScrapeOptions::default())?)
             }
@@ -318,8 +336,10 @@ struct Session {
     done_count: usize,
     /// Round-robin pointer over generations for offer scheduling.
     next_gen: usize,
-    /// Offers awaiting feedback: transfer id → (generation, packet).
-    pending: HashMap<u64, (u32, EncodedPacket)>,
+    /// Offers awaiting feedback: transfer id → (generation, offer-time
+    /// trace context, packet). The payload echoes the offer's trace, so
+    /// the client-measured latency spans the whole offer→delivery round.
+    pending: HashMap<u64, (u32, TraceContext, EncodedPacket)>,
     next_transfer: u64,
 }
 
@@ -415,7 +435,10 @@ fn serve_connection(
 ) -> Result<(), ServeError> {
     let peer = stream.peer_addr().ok();
     tracer.emit(|| TraceEvent::ConnectionOpened { peer });
+    let started = std::time::Instant::now();
     let result = run_session(stream, store, stats, stop, options, tracer);
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    stats.session_micros.record(micros);
     tracer.emit(|| TraceEvent::ConnectionClosed { peer });
     result
 }
@@ -535,13 +558,13 @@ fn handle_frame(
             let Some(session) = session.as_mut() else {
                 return Err(ServeError::UnexpectedMessage("FEEDBACK before REQUEST"));
             };
-            let Some((generation, packet)) = session.pending.remove(&transfer) else {
+            let Some((generation, trace, packet)) = session.pending.remove(&transfer) else {
                 return Ok(false); // feedback for an offer we no longer track
             };
             if accept {
                 stats.transfers_delivered.fetch_add(1, Ordering::Relaxed);
                 let header = session.header(MessageKind::DataPayload, generation);
-                conn.send(&header, &Message::DataPayload { transfer, packet })?;
+                conn.send(&header, &Message::DataPayload { transfer, trace, packet })?;
             } else {
                 stats.transfers_aborted.fetch_add(1, Ordering::Relaxed);
             }
@@ -605,12 +628,16 @@ fn pump_offers(
         session.next_transfer += 1;
         stats.transfers_offered.fetch_add(1, Ordering::Relaxed);
         let header = session.header(MessageKind::DataHeader, gen_index as u32);
+        // A serving replica holds the object itself: every offer starts a
+        // fresh lineage, stamped at offer time.
+        let trace = TraceContext::origin_now();
         let offer = Message::DataHeader {
             transfer,
+            trace,
             payload_size: packet.payload_size(),
             vector: packet.vector().clone(),
         };
-        session.pending.insert(transfer, (gen_index as u32, packet));
+        session.pending.insert(transfer, (gen_index as u32, trace, packet));
         conn.send(&header, &offer)?;
     }
     Ok(())

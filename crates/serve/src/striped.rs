@@ -47,7 +47,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use ltnc_metrics::{ReplicaCounters, StripeCounters};
+use ltnc_metrics::{LogHistogramSnapshot, ReplicaCounters, StripeCounters};
 use ltnc_scheme::SchemeKind;
 use ltnc_session::generation::ObjectManifest;
 use ltnc_session::{LeaseTable, SharedReceiver};
@@ -90,14 +90,19 @@ pub struct StripedReport {
     pub stripe: StripeCounters,
     /// Wall-clock time from first connect to reassembly.
     pub elapsed: Duration,
+    /// Origin→delivery latency (wire-carried trace context) merged over
+    /// every stream of the fetch, failover streams included.
+    pub latency: LogHistogramSnapshot,
 }
 
 /// Everything the coordinator reacts to, on one channel.
 enum Event {
-    /// A replica's handshake resolved.
-    Opened(usize, Result<(ReplicaConn, ObjectManifest), ServeError>),
-    /// A fetch stream terminated.
-    Stream(StreamEvent),
+    /// A replica's handshake resolved (boxed: a `ReplicaConn` carries
+    /// its framing buffers, far larger than a stream event).
+    Opened(usize, Box<Result<(ReplicaConn, ObjectManifest), ServeError>>),
+    /// A fetch stream terminated (boxed: carries a full latency
+    /// snapshot).
+    Stream(Box<StreamEvent>),
 }
 
 /// Marker error of [`Coordinator::migrate`]: outstanding leases had no
@@ -115,6 +120,7 @@ struct StreamEvent {
     failover: bool,
     result: Result<(), ServeError>,
     counters: ReplicaCounters,
+    latency: LogHistogramSnapshot,
 }
 
 /// Coordinator state while the fetch is live.
@@ -141,6 +147,8 @@ struct Coordinator {
     pending_conns: Vec<(usize, ReplicaConn, ObjectManifest)>,
     stream_failures: usize,
     last_error: Option<ServeError>,
+    /// Running merge of every terminated stream's latency distribution.
+    latency: LogHistogramSnapshot,
     event_tx: mpsc::Sender<Event>,
     outstanding_streams: usize,
     pending_opens: usize,
@@ -213,6 +221,7 @@ pub fn fetch_striped_traced(
         pending_conns: Vec::new(),
         stream_failures: 0,
         last_error: None,
+        latency: LogHistogramSnapshot::empty(),
         event_tx: event_tx.clone(),
         outstanding_streams: 0,
         pending_opens: addrs.len(),
@@ -227,7 +236,7 @@ pub fn fetch_striped_traced(
         let client = options.client;
         thread::spawn(move || {
             let result = ReplicaConn::open(addr, object_id, scheme, &client);
-            let _ = event_tx.send(Event::Opened(replica, result));
+            let _ = event_tx.send(Event::Opened(replica, Box::new(result)));
         });
     }
 
@@ -279,6 +288,7 @@ pub fn fetch_striped_traced(
         match event_rx.recv_timeout(Duration::from_millis(50)) {
             Ok(Event::Stream(event)) => {
                 coordinator.outstanding_streams -= 1;
+                coordinator.latency.merge(&event.latency);
                 let slot = &mut coordinator.stripe.replicas[event.replica];
                 slot.merge(&event.counters);
                 slot.failed |= event.result.is_err();
@@ -299,38 +309,47 @@ pub fn fetch_striped_traced(
     if object.len() as u64 != manifest.object_len {
         return Err(ServeError::Corrupt("reassembled length != manifest"));
     }
-    Ok(StripedReport { object, manifest, stripe: coordinator.stripe, elapsed: started.elapsed() })
+    Ok(StripedReport {
+        object,
+        manifest,
+        stripe: coordinator.stripe,
+        elapsed: started.elapsed(),
+        latency: coordinator.latency,
+    })
 }
 
 impl Coordinator {
     /// Applies one event. `Err` aborts the whole fetch.
     fn handle(&mut self, event: Event) -> Result<(), ServeError> {
         match event {
-            Event::Opened(replica, Ok((conn, declared))) => {
+            Event::Opened(replica, outcome) => {
                 self.pending_opens -= 1;
-                match self.manifest {
-                    Some(reference) if declared != reference => self.impostor(replica),
-                    Some(_) => self.spawn_primary(replica, conn),
-                    None => {
-                        // No reference yet: buffer until a manifest wins
-                        // the adoption vote. First-handshake-wins would
-                        // let a fast misconfigured replica become the
-                        // reference and disqualify every correct one.
-                        self.pending_conns.push((replica, conn, declared));
+                match *outcome {
+                    Ok((conn, declared)) => match self.manifest {
+                        Some(reference) if declared != reference => self.impostor(replica),
+                        Some(_) => self.spawn_primary(replica, conn),
+                        None => {
+                            // No reference yet: buffer until a manifest wins
+                            // the adoption vote. First-handshake-wins would
+                            // let a fast misconfigured replica become the
+                            // reference and disqualify every correct one.
+                            self.pending_conns.push((replica, conn, declared));
+                            self.try_adopt();
+                        }
+                    },
+                    Err(e) => {
+                        self.stripe.replicas[replica].failed = true;
+                        self.last_error = Some(e);
+                        self.replica_dead_at_open(replica);
+                        // One fewer voter; a buffered plurality may now
+                        // decide.
                         self.try_adopt();
                     }
                 }
             }
-            Event::Opened(replica, Err(e)) => {
-                self.pending_opens -= 1;
-                self.stripe.replicas[replica].failed = true;
-                self.last_error = Some(e);
-                self.replica_dead_at_open(replica);
-                // One fewer voter; a buffered plurality may now decide.
-                self.try_adopt();
-            }
             Event::Stream(event) => {
                 self.outstanding_streams -= 1;
+                self.latency.merge(&event.latency);
                 self.stripe.replicas[event.replica].merge(&event.counters);
                 self.release_completed();
                 if let Err(stream_error) = event.result {
@@ -563,15 +582,17 @@ fn spawn_stream(
     thread::spawn(move || {
         let result = conn.fetch_generations(&lease, &receiver, &options).map(|_| ());
         let counters = conn.replica_counters();
+        let latency = conn.latency_snapshot();
         // A send failure means the coordinator already returned; nothing
         // left to report to.
-        let _ = event_tx.send(Event::Stream(StreamEvent {
+        let _ = event_tx.send(Event::Stream(Box::new(StreamEvent {
             replica,
             lease,
             failover: false,
             result,
             counters,
-        }));
+            latency,
+        })));
     });
 }
 
@@ -593,23 +614,25 @@ fn spawn_release_stream(
     event_tx: mpsc::Sender<Event>,
 ) {
     thread::spawn(move || {
-        let (result, counters) = match ReplicaConn::open(addr, object_id, scheme, &options) {
+        let (result, counters, latency) = match ReplicaConn::open(addr, object_id, scheme, &options)
+        {
             Ok((mut conn, declared)) => {
                 let result = if declared == expected {
                     conn.fetch_generations(&lease, &receiver, &options).map(|_| ())
                 } else {
                     Err(ServeError::Corrupt("replicas disagree on the object manifest"))
                 };
-                (result, conn.replica_counters())
+                (result, conn.replica_counters(), conn.latency_snapshot())
             }
-            Err(e) => (Err(e), ReplicaCounters::default()),
+            Err(e) => (Err(e), ReplicaCounters::default(), LogHistogramSnapshot::empty()),
         };
-        let _ = event_tx.send(Event::Stream(StreamEvent {
+        let _ = event_tx.send(Event::Stream(Box::new(StreamEvent {
             replica,
             lease,
             failover: true,
             result,
             counters,
-        }));
+            latency,
+        })));
     });
 }

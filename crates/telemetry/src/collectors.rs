@@ -1,8 +1,8 @@
 //! Adapters from the workspace's counter structs to registry samples.
 
-use ltnc_metrics::{HopCounters, ServeCounters, StripeCounters, WireCounters};
+use ltnc_metrics::{HopCounters, HopLatency, ServeCounters, StripeCounters, WireCounters};
 
-use crate::registry::Sample;
+use crate::registry::{HistogramSample, Sample};
 
 /// Samples every field of a [`WireCounters`] (family `wire`).
 #[must_use]
@@ -88,6 +88,27 @@ pub fn hop_samples(c: &HopCounters) -> Vec<Sample> {
     samples
 }
 
+/// Samples a [`HopLatency`] recorder as one `delivery_latency_us`
+/// histogram per populated hop depth under a `hops="<links>"` label,
+/// plus the merged distribution with no label (family decided by the
+/// registration, typically `wire`).
+#[must_use]
+pub fn hop_latency_histograms(latency: &HopLatency) -> Vec<HistogramSample> {
+    let mut samples = Vec::new();
+    let total = latency.total();
+    if !total.is_empty() {
+        samples.push(HistogramSample::plain("delivery_latency_us", total));
+    }
+    for (hops, snapshot) in latency.snapshot() {
+        samples.push(HistogramSample {
+            name: "delivery_latency_us",
+            labels: vec![("hops", hops.to_string())],
+            snapshot,
+        });
+    }
+    samples
+}
+
 #[cfg(test)]
 mod tests {
     use ltnc_metrics::{HopStats, ReplicaCounters};
@@ -125,6 +146,24 @@ mod tests {
         assert!(samples.iter().any(|s| s.name == "failed"
             && s.value == 1
             && s.labels == vec![("replica", "1".to_string())]));
+    }
+
+    #[test]
+    fn hop_latency_histograms_label_depths_and_merge_total() {
+        let latency = HopLatency::new();
+        assert!(hop_latency_histograms(&latency).is_empty());
+        latency.record(1, 50);
+        latency.record(3, 700);
+        let samples = hop_latency_histograms(&latency);
+        assert_eq!(samples.len(), 3);
+        assert!(samples[0].labels.is_empty());
+        assert_eq!(samples[0].snapshot.count(), 2);
+        assert!(samples
+            .iter()
+            .any(|s| s.labels == vec![("hops", "1".to_string())] && s.snapshot.count() == 1));
+        assert!(samples
+            .iter()
+            .any(|s| s.labels == vec![("hops", "3".to_string())] && s.snapshot.max == 700));
     }
 
     #[test]

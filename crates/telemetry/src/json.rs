@@ -19,6 +19,14 @@
 
 use core::fmt;
 
+/// Schema version stamped as the top-level `schema_version` member of
+/// every machine-readable run report in the workspace — the examples'
+/// `--report` JSON and the bench-report pipeline's
+/// `BENCH_<scenario>.json`. Consumers (the CI regression compare, any
+/// dashboard ingesting the artifacts) should check it before reading
+/// other members; bump it on any breaking change to the member layout.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
 /// One JSON value; build with the constructors, render with
 /// [`JsonValue::render`] (or `Display`).
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +80,73 @@ impl JsonValue {
         out
     }
 
+    /// Parses a JSON document (the inverse of [`JsonValue::render`], used
+    /// by the bench-report regression compare to read committed baseline
+    /// files back). Strict enough for machine-written JSON: no comments,
+    /// no trailing commas; numbers with a fraction or exponent become
+    /// [`JsonValue::Float`], bare integers [`JsonValue::Int`].
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first syntax problem encountered.
+    pub fn parse(text: &str) -> Result<JsonValue, &'static str> {
+        let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err("trailing characters after the document");
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (`None` for other variants or a
+    /// missing key).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of an `Int` or `Float` (`None` otherwise).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The integer value of an `Int` (`None` otherwise).
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The borrowed string of a `Str` (`None` otherwise).
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The items of an `Array` (`None` otherwise).
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items.as_slice()),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -111,6 +186,187 @@ impl JsonValue {
                 }
                 out.push('}');
             }
+        }
+    }
+}
+
+/// Recursive-descent parser over the document bytes. Depth is bounded
+/// by the recursion limit of the caller's stack; the machine-written
+/// documents this reads nest a handful of levels.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), &'static str> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err("unexpected character")
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, &'static str> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err("invalid literal")
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, &'static str> {
+        match self.peek().ok_or("unexpected end of document")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::Str(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err("unexpected character"),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, &'static str> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, &'static str> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, &'static str> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek().ok_or("unterminated escape")? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs are not produced by the
+                            // writer; map lone surrogates to the
+                            // replacement character rather than erroring.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err("unknown escape"),
+                    }
+                    self.pos += 1;
+                }
+                first => {
+                    // Multi-byte UTF-8 sequences pass through verbatim:
+                    // the input is a &str, so they are already valid.
+                    let start = self.pos;
+                    let len = match first {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self.bytes.get(start..start + len).ok_or("truncated string")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid utf-8")?);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, &'static str> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(byte) = self.peek() {
+            match byte {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number")?;
+        if float {
+            text.parse::<f64>().map(JsonValue::Float).map_err(|_| "bad number")
+        } else {
+            text.parse::<i64>().map(JsonValue::Int).map_err(|_| "bad number")
         }
     }
 }
@@ -222,5 +478,39 @@ mod tests {
     #[test]
     fn u64_clamps_to_i64() {
         assert_eq!(JsonValue::from(u64::MAX).render(), i64::MAX.to_string());
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = JsonValue::object()
+            .field("name", "run \"x\"\n")
+            .field("ok", true)
+            .field("none", JsonValue::Null)
+            .field("n", -42i64)
+            .field("rate", 0.25)
+            .field("hops", JsonValue::array(vec![JsonValue::from(1u64), JsonValue::from(2u64)]))
+            .field("nested", JsonValue::object().field("goodput", 123456.5));
+        let parsed = JsonValue::parse(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.get("n").and_then(JsonValue::as_i64), Some(-42));
+        assert_eq!(
+            parsed.get("nested").and_then(|n| n.get("goodput")).and_then(JsonValue::as_f64),
+            Some(123456.5)
+        );
+        assert_eq!(parsed.get("hops").and_then(JsonValue::as_array).map(<[_]>::len), Some(2));
+        assert_eq!(parsed.get("name").and_then(JsonValue::as_str), Some("run \"x\"\n"));
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_rejects_garbage() {
+        let parsed = JsonValue::parse(" { \"a\" : [ 1 , 2.5e1 , \"\\u0041\" ] } ").unwrap();
+        let items = parsed.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(items[0], JsonValue::Int(1));
+        assert_eq!(items[1], JsonValue::Float(25.0));
+        assert_eq!(items[2], JsonValue::Str("A".to_string()));
+
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted invalid JSON: {bad:?}");
+        }
     }
 }

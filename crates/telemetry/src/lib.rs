@@ -38,7 +38,12 @@ mod registry;
 mod scrape;
 mod trace;
 
-pub use collectors::{hop_samples, serve_samples, stripe_samples, wire_samples};
-pub use registry::{Collector, FamilySnapshot, MetricsRegistry, MetricsSnapshot, Sample};
+pub use collectors::{
+    hop_latency_histograms, hop_samples, serve_samples, stripe_samples, wire_samples,
+};
+pub use registry::{
+    Collector, FamilySnapshot, HistogramCollector, HistogramSample, MetricsRegistry,
+    MetricsSnapshot, Sample,
+};
 pub use scrape::{ScrapeOptions, ScrapeServer};
 pub use trace::{FaultKind, RingSink, TimedEvent, TraceEvent, TraceSink, Tracer};

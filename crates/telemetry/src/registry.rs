@@ -2,6 +2,8 @@ use core::fmt;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use ltnc_metrics::{bucket_bound, LogHistogramSnapshot, LOG_BUCKETS};
+
 use crate::json::JsonValue;
 
 /// One counter value sampled from a live source.
@@ -62,13 +64,60 @@ where
     }
 }
 
+/// One histogram distribution sampled from a live source, carrying a
+/// full [`LogHistogramSnapshot`] instead of a single counter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Histogram name within the family (for example
+    /// `delivery_latency_us`).
+    pub name: &'static str,
+    /// Extra label dimensions specific to this sample (for example
+    /// `hops="3"`).
+    pub labels: Vec<(&'static str, String)>,
+    /// The current cumulative distribution.
+    pub snapshot: LogHistogramSnapshot,
+}
+
+impl HistogramSample {
+    /// A label-less histogram sample.
+    #[must_use]
+    pub fn plain(name: &'static str, snapshot: LogHistogramSnapshot) -> HistogramSample {
+        HistogramSample { name, labels: Vec::new(), snapshot }
+    }
+}
+
+/// Samples one family of histograms from a live source; implemented for
+/// any `Fn() -> Vec<HistogramSample> + Send + Sync`, mirroring
+/// [`Collector`].
+pub trait HistogramCollector: Send + Sync {
+    /// Reads the current cumulative distributions.
+    fn histograms(&self) -> Vec<HistogramSample>;
+}
+
+impl<F> HistogramCollector for F
+where
+    F: Fn() -> Vec<HistogramSample> + Send + Sync,
+{
+    fn histograms(&self) -> Vec<HistogramSample> {
+        self()
+    }
+}
+
+/// What a registered entry samples: plain counters or histograms.
+enum Source {
+    Counters(Box<dyn Collector>),
+    Histograms(Box<dyn HistogramCollector>),
+}
+
 struct Entry {
     family: String,
     labels: Vec<(String, String)>,
-    collector: Box<dyn Collector>,
+    source: Source,
     /// Values at the previous `interval_delta` call, keyed by the fully
     /// rendered metric identity.
     last: HashMap<String, u64>,
+    /// Histogram snapshots at the previous `interval_delta` call.
+    last_hist: HashMap<String, LogHistogramSnapshot>,
 }
 
 /// A set of labeled counter families, sampled on demand.
@@ -119,11 +168,28 @@ impl MetricsRegistry {
         labels: &[(&str, String)],
         collector: impl Collector + 'static,
     ) {
+        self.push_entry(family, labels, Source::Counters(Box::new(collector)));
+    }
+
+    /// Adds a histogram family. Rendered in the Prometheus exposition as
+    /// cumulative `ltnc_<family>_<name>_bucket{le="…"}` series plus
+    /// `_sum` and `_count`, and in JSON with the percentile summary.
+    pub fn register_histograms(
+        &self,
+        family: &str,
+        labels: &[(&str, String)],
+        collector: impl HistogramCollector + 'static,
+    ) {
+        self.push_entry(family, labels, Source::Histograms(Box::new(collector)));
+    }
+
+    fn push_entry(&self, family: &str, labels: &[(&str, String)], source: Source) {
         let entry = Entry {
             family: family.to_string(),
             labels: labels.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect(),
-            collector: Box::new(collector),
+            source,
             last: HashMap::new(),
+            last_hist: HashMap::new(),
         };
         if let Ok(mut entries) = self.entries.lock() {
             entries.push(entry);
@@ -157,18 +223,37 @@ impl MetricsRegistry {
             return MetricsSnapshot { families };
         };
         for entry in entries.iter_mut() {
-            let mut samples = entry.collector.samples();
-            if delta {
-                for sample in &mut samples {
-                    let key = metric_key(sample.name, &sample.labels);
-                    let prev = entry.last.insert(key, sample.value).unwrap_or(0);
-                    sample.value = sample.value.saturating_sub(prev);
+            let mut samples = Vec::new();
+            let mut histograms = Vec::new();
+            match &entry.source {
+                Source::Counters(collector) => {
+                    samples = collector.samples();
+                    if delta {
+                        for sample in &mut samples {
+                            let key = metric_key(sample.name, &sample.labels);
+                            let prev = entry.last.insert(key, sample.value).unwrap_or(0);
+                            sample.value = sample.value.saturating_sub(prev);
+                        }
+                    }
+                }
+                Source::Histograms(collector) => {
+                    histograms = collector.histograms();
+                    if delta {
+                        for sample in &mut histograms {
+                            let key = metric_key(sample.name, &sample.labels);
+                            let prev = entry.last_hist.insert(key, sample.snapshot.clone());
+                            if let Some(prev) = prev {
+                                sample.snapshot = sample.snapshot.since(&prev);
+                            }
+                        }
+                    }
                 }
             }
             families.push(FamilySnapshot {
                 family: entry.family.clone(),
                 labels: entry.labels.clone(),
                 samples,
+                histograms,
             });
         }
         MetricsSnapshot { families }
@@ -199,8 +284,10 @@ pub struct FamilySnapshot {
     pub family: String,
     /// The fixed labels of the registration.
     pub labels: Vec<(String, String)>,
-    /// The sampled counters.
+    /// The sampled counters (empty for histogram families).
     pub samples: Vec<Sample>,
+    /// The sampled histograms (empty for counter families).
+    pub histograms: Vec<HistogramSample>,
 }
 
 /// A point-in-time sampling of every family in a registry, renderable as
@@ -215,7 +302,7 @@ impl MetricsSnapshot {
     /// `true` when no family produced any sample.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.families.iter().all(|f| f.samples.is_empty())
+        self.families.iter().all(|f| f.samples.is_empty() && f.histograms.is_empty())
     }
 
     /// Sum of every sample named `name` in families named `family`
@@ -231,9 +318,30 @@ impl MetricsSnapshot {
             .sum()
     }
 
+    /// Every histogram sample named `name` in families named `family`,
+    /// merged into one distribution (empty when absent).
+    #[must_use]
+    pub fn histogram(&self, family: &str, name: &str) -> LogHistogramSnapshot {
+        let mut merged = LogHistogramSnapshot::empty();
+        for sample in self
+            .families
+            .iter()
+            .filter(|f| f.family == family)
+            .flat_map(|f| &f.histograms)
+            .filter(|h| h.name == name)
+        {
+            merged.merge(&sample.snapshot);
+        }
+        merged
+    }
+
     /// Renders the snapshot in the Prometheus text exposition format:
-    /// one `ltnc_<family>_<name>{labels} value` line per sample, with a
-    /// `# TYPE … counter` header per distinct metric name.
+    /// one `ltnc_<family>_<name>{labels} value` line per counter sample
+    /// with a `# TYPE … counter` header per distinct metric name, and
+    /// for each histogram sample the standard histogram series —
+    /// cumulative `_bucket{…,le="bound"}` lines (power-of-two bounds up
+    /// to the highest occupied bucket, then `le="+Inf"`), `_sum`, and
+    /// `_count`, under a `# TYPE … histogram` header.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
@@ -248,24 +356,58 @@ impl MetricsSnapshot {
                     typed.push(metric.clone());
                 }
                 out.push_str(&metric);
-                let mut labels: Vec<(&str, &str)> =
-                    family.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
-                labels.extend(sample.labels.iter().map(|(k, v)| (*k, v.as_str())));
-                if !labels.is_empty() {
-                    out.push('{');
-                    for (i, (k, v)) in labels.iter().enumerate() {
-                        if i > 0 {
-                            out.push(',');
-                        }
-                        out.push_str(k);
-                        out.push_str("=\"");
-                        out.push_str(&escape_label(v));
-                        out.push('"');
-                    }
-                    out.push('}');
-                }
+                push_labels(&mut out, &family.labels, &sample.labels, None);
                 out.push(' ');
                 out.push_str(&sample.value.to_string());
+                out.push('\n');
+            }
+            for sample in &family.histograms {
+                let metric = format!("ltnc_{}_{}", family.family, sample.name);
+                if !typed.contains(&metric) {
+                    out.push_str("# TYPE ");
+                    out.push_str(&metric);
+                    out.push_str(" histogram\n");
+                    typed.push(metric.clone());
+                }
+                let snapshot = &sample.snapshot;
+                let highest = snapshot
+                    .buckets
+                    .iter()
+                    .rposition(|&count| count > 0)
+                    // The last bucket's bound is u64::MAX; `+Inf` already
+                    // covers it, so finite lines stop one short.
+                    .map(|index| index.min(LOG_BUCKETS - 2));
+                let mut cumulative = 0u64;
+                if let Some(highest) = highest {
+                    for index in 0..=highest {
+                        cumulative += snapshot.buckets[index];
+                        out.push_str(&metric);
+                        out.push_str("_bucket");
+                        let le = bucket_bound(index).to_string();
+                        push_labels(&mut out, &family.labels, &sample.labels, Some(&le));
+                        out.push(' ');
+                        out.push_str(&cumulative.to_string());
+                        out.push('\n');
+                    }
+                }
+                let count = snapshot.count();
+                out.push_str(&metric);
+                out.push_str("_bucket");
+                push_labels(&mut out, &family.labels, &sample.labels, Some("+Inf"));
+                out.push(' ');
+                out.push_str(&count.to_string());
+                out.push('\n');
+                out.push_str(&metric);
+                out.push_str("_sum");
+                push_labels(&mut out, &family.labels, &sample.labels, None);
+                out.push(' ');
+                out.push_str(&snapshot.sum.to_string());
+                out.push('\n');
+                out.push_str(&metric);
+                out.push_str("_count");
+                push_labels(&mut out, &family.labels, &sample.labels, None);
+                out.push(' ');
+                out.push_str(&count.to_string());
                 out.push('\n');
             }
         }
@@ -299,14 +441,84 @@ impl MetricsSnapshot {
                         doc.field("value", sample.value)
                     })
                     .collect();
-                JsonValue::object()
+                let histograms: Vec<JsonValue> = family
+                    .histograms
+                    .iter()
+                    .map(|sample| {
+                        let mut doc = JsonValue::object().field("name", sample.name);
+                        if !sample.labels.is_empty() {
+                            let mut extra = JsonValue::object();
+                            for (k, v) in &sample.labels {
+                                extra = extra.field(k, v.as_str());
+                            }
+                            doc = doc.field("labels", extra);
+                        }
+                        let snapshot = &sample.snapshot;
+                        let mut cumulative = 0u64;
+                        let buckets = snapshot
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &count)| count > 0)
+                            .map(|(index, &count)| {
+                                cumulative += count;
+                                JsonValue::object()
+                                    .field("le", bucket_bound(index))
+                                    .field("cumulative", cumulative)
+                            })
+                            .collect();
+                        doc.field("count", snapshot.count())
+                            .field("sum", snapshot.sum)
+                            .field("max", snapshot.max)
+                            .field("p50", snapshot.p50())
+                            .field("p90", snapshot.p90())
+                            .field("p99", snapshot.p99())
+                            .field("buckets", JsonValue::array(buckets))
+                    })
+                    .collect();
+                let mut doc = JsonValue::object()
                     .field("family", family.family.as_str())
                     .field("labels", labels)
-                    .field("samples", JsonValue::array(samples))
+                    .field("samples", JsonValue::array(samples));
+                if !histograms.is_empty() {
+                    doc = doc.field("histograms", JsonValue::array(histograms));
+                }
+                doc
             })
             .collect();
         JsonValue::object().field("families", JsonValue::array(families)).render()
     }
+}
+
+/// Renders a `{k="v",…}` label block from the family labels, the
+/// sample's own labels, and (for histogram bucket lines) a trailing
+/// `le` bound. Writes nothing when every source is empty.
+fn push_labels(
+    out: &mut String,
+    family_labels: &[(String, String)],
+    sample_labels: &[(&'static str, String)],
+    le: Option<&str>,
+) {
+    let mut labels: Vec<(&str, &str)> =
+        family_labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    labels.extend(sample_labels.iter().map(|(k, v)| (*k, v.as_str())));
+    if let Some(le) = le {
+        labels.push(("le", le));
+    }
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    out.push('}');
 }
 
 fn escape_label(v: &str) -> String {
@@ -406,5 +618,126 @@ mod tests {
         assert!(snap.is_empty());
         assert_eq!(snap.to_prometheus(), "");
         assert_eq!(snap.to_json(), "{\"families\":[]}");
+    }
+
+    fn histogram_registry() -> (MetricsRegistry, Arc<ltnc_metrics::LogHistogram>) {
+        let live = Arc::new(ltnc_metrics::LogHistogram::new());
+        let registry = MetricsRegistry::new();
+        let source = Arc::clone(&live);
+        registry.register_histograms("wire", &[("node", "n0".to_string())], move || {
+            vec![HistogramSample::plain("delivery_latency_us", source.snapshot())]
+        });
+        (registry, live)
+    }
+
+    /// Extracts `(le, value)` pairs from the rendered `_bucket` lines of
+    /// one metric, in exposition order.
+    fn bucket_lines(text: &str, metric: &str) -> Vec<(String, u64)> {
+        text.lines()
+            .filter(|line| line.starts_with(&format!("{metric}_bucket{{")))
+            .map(|line| {
+                let le_start = line.find("le=\"").expect("bucket line without le") + 4;
+                let le_end = line[le_start..].find('"').unwrap() + le_start;
+                let value = line.rsplit(' ').next().unwrap().parse().unwrap();
+                (line[le_start..le_end].to_string(), value)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn histogram_exposition_buckets_are_cumulative_and_end_at_inf() {
+        let (registry, live) = histogram_registry();
+        for v in [1u64, 3, 3, 90, 4_000, 4_000, 4_001] {
+            live.record(v);
+        }
+        let text = registry.snapshot().to_prometheus();
+        let metric = "ltnc_wire_delivery_latency_us";
+        assert!(text.contains(&format!("# TYPE {metric} histogram")));
+
+        let buckets = bucket_lines(&text, metric);
+        assert!(buckets.len() >= 2, "expected finite buckets plus +Inf: {text}");
+        // Cumulative: non-decreasing along the le sequence.
+        for pair in buckets.windows(2) {
+            assert!(pair[1].1 >= pair[0].1, "buckets not cumulative: {buckets:?}");
+        }
+        // The final bucket is +Inf and equals _count.
+        let (last_le, last_value) = buckets.last().unwrap();
+        assert_eq!(last_le, "+Inf");
+        assert_eq!(*last_value, 7);
+        assert!(text.contains(&format!("{metric}_count{{node=\"n0\"}} 7")));
+        assert!(text.contains(&format!("{metric}_sum{{node=\"n0\"}} {}", 1 + 3 + 3 + 90 + 12_001)));
+        // Finite bounds are powers of two minus one, strictly increasing.
+        let mut prev = None;
+        for (le, _) in &buckets[..buckets.len() - 1] {
+            let bound: u64 = le.parse().expect("finite le bound");
+            assert!((bound + 1).is_power_of_two(), "bound {bound} not 2^n - 1");
+            assert!(prev.is_none_or(|p| bound > p));
+            prev = Some(bound);
+        }
+    }
+
+    #[test]
+    fn histogram_count_equals_sum_of_bucket_increments() {
+        let (registry, live) = histogram_registry();
+        for v in [2u64, 5, 9, 1_000_000] {
+            live.record(v);
+        }
+        let snap = registry.snapshot();
+        let merged = snap.histogram("wire", "delivery_latency_us");
+        assert_eq!(merged.count(), merged.buckets.iter().sum::<u64>());
+        assert_eq!(merged.count(), 4);
+
+        // The same invariant through the text exposition: each bucket's
+        // increment over its predecessor sums to _count.
+        let text = snap.to_prometheus();
+        let buckets = bucket_lines(&text, "ltnc_wire_delivery_latency_us");
+        let mut prev = 0;
+        let mut increments = 0;
+        for (_, cumulative) in &buckets[..buckets.len() - 1] {
+            increments += cumulative - prev;
+            prev = *cumulative;
+        }
+        let inf = buckets.last().unwrap().1;
+        increments += inf - prev;
+        assert_eq!(increments, 4);
+        assert_eq!(inf, 4);
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_inf_sum_count() {
+        let (registry, _live) = histogram_registry();
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("ltnc_wire_delivery_latency_us_bucket{node=\"n0\",le=\"+Inf\"} 0"));
+        assert!(text.contains("ltnc_wire_delivery_latency_us_sum{node=\"n0\"} 0"));
+        assert!(text.contains("ltnc_wire_delivery_latency_us_count{node=\"n0\"} 0"));
+    }
+
+    #[test]
+    fn histogram_interval_delta_subtracts_buckets() {
+        let (registry, live) = histogram_registry();
+        live.record(10);
+        live.record(20);
+        assert_eq!(registry.interval_delta().histogram("wire", "delivery_latency_us").count(), 2);
+        live.record(30);
+        let delta = registry.interval_delta().histogram("wire", "delivery_latency_us");
+        assert_eq!(delta.count(), 1);
+        assert_eq!(delta.sum, 30);
+        // Cumulative snapshot unaffected by delta bookkeeping.
+        assert_eq!(registry.snapshot().histogram("wire", "delivery_latency_us").count(), 3);
+    }
+
+    #[test]
+    fn histogram_json_carries_percentiles() {
+        let (registry, live) = histogram_registry();
+        for _ in 0..100 {
+            live.record(100);
+        }
+        let json = registry.snapshot().to_json();
+        assert!(json.contains("\"histograms\":["));
+        assert!(json.contains("\"name\":\"delivery_latency_us\""));
+        assert!(json.contains("\"count\":100"));
+        assert!(json.contains("\"p50\":100"));
+        assert!(json.contains("\"p99\":100"));
+        assert!(json.contains("\"buckets\":[{\"le\":127,\"cumulative\":100}]"));
     }
 }

@@ -53,6 +53,7 @@ impl Default for ScrapeOptions {
 ///
 /// * `GET /metrics` — Prometheus text exposition (cumulative values),
 /// * `GET /metrics.json` — the same snapshot as a JSON document,
+/// * `GET /healthz` — cheap liveness probe (`200 ok`, no snapshot taken),
 /// * anything else — `404`; malformed or oversized requests — `400`.
 ///
 /// One dedicated OS thread accepts and serves connections sequentially;
@@ -192,6 +193,10 @@ fn serve_client(mut stream: TcpStream, registry: &MetricsRegistry, options: &Scr
         "/metrics.json" => {
             respond(&mut stream, 200, "application/json", &registry.snapshot().to_json());
         }
+        // Liveness probe: answers without touching the registry, so a
+        // harness can poll for "the endpoint is up" without paying for
+        // (or parsing) a full scrape.
+        "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),
     }
 }
@@ -271,6 +276,18 @@ mod tests {
         assert!(json.contains("\"family\":\"serve\""));
         let missing = get(addr, "GET /other HTTP/1.0\r\n\r\n");
         assert!(missing.starts_with("HTTP/1.0 404"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_answers_ok_without_a_scrape() {
+        let server = test_server(ScrapeOptions::default());
+        let addr = server.local_addr();
+        let health = get(addr, "GET /healthz HTTP/1.0\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.0 200"));
+        assert!(health.ends_with("ok\n"));
+        // No metric lines ride along on the probe.
+        assert!(!health.contains("ltnc_"));
         server.shutdown();
     }
 

@@ -201,6 +201,20 @@ fn report_row(report: &TopologyReport, peers: usize) -> String {
     )
 }
 
+/// The shared latency sub-object every `--report` writer in the
+/// workspace emits: microsecond origin→delivery percentiles out of the
+/// wire-carried trace context.
+fn latency_json(snapshot: &ltnc_metrics::LogHistogramSnapshot) -> JsonValue {
+    JsonValue::object()
+        .field("unit", "us")
+        .field("count", snapshot.count())
+        .field("mean", snapshot.mean())
+        .field("p50", snapshot.p50())
+        .field("p90", snapshot.p90())
+        .field("p99", snapshot.p99())
+        .field("max", snapshot.quantile(1.0))
+}
+
 /// Renders the run as a machine-readable document: the exact seeded
 /// configuration, then per scheme the swarm outcome, wire totals, the
 /// per-hop rollup, where each directed link's faults landed, and (when
@@ -264,6 +278,15 @@ fn render_report(args: &Args, source: usize, results: &[(SchemeKind, TopologyRep
                 .iter()
                 .map(|at| at.map_or(JsonValue::Null, |d| JsonValue::from(d.as_secs_f64())))
                 .collect();
+            let mut total_latency = ltnc_metrics::LogHistogramSnapshot::empty();
+            let latency_by_hop = report
+                .latency_by_hop
+                .iter()
+                .map(|(hops, snapshot)| {
+                    total_latency.merge(snapshot);
+                    latency_json(snapshot).field("hops", *hops)
+                })
+                .collect();
             JsonValue::object()
                 .field("scheme", scheme.label())
                 .field("converged", report.swarm.converged)
@@ -274,6 +297,8 @@ fn render_report(args: &Args, source: usize, results: &[(SchemeKind, TopologyRep
                 .field("goodput_bytes_per_sec", report.goodput_bytes_per_sec())
                 .field("max_hops", report.max_hops())
                 .field("relay_recoding_ops", report.relay_recoding_ops)
+                .field("latency", latency_json(&total_latency))
+                .field("latency_by_hop", JsonValue::array(latency_by_hop))
                 .field("wire", wire)
                 .field("per_hop", JsonValue::array(per_hop))
                 .field("link_faults", JsonValue::array(link_faults))
@@ -282,6 +307,7 @@ fn render_report(args: &Args, source: usize, results: &[(SchemeKind, TopologyRep
         .collect();
 
     JsonValue::object()
+        .field("schema_version", ltnc_telemetry::json::REPORT_SCHEMA_VERSION)
         .field("example", "multi_hop_dissemination")
         .field("config", config)
         .field("schemes", JsonValue::array(schemes))

@@ -13,7 +13,7 @@
 use std::io;
 use std::time::Duration;
 
-use ltnc_metrics::{HopCounters, HopStats};
+use ltnc_metrics::{HopCounters, HopStats, LogHistogramSnapshot};
 use ltnc_net::faults::{DatagramFaultCounters, DatagramFaultPlan, DatagramFaults};
 use ltnc_net::swarm::{run_wired_swarm, SwarmConfig, SwarmReport, SwarmWiring};
 use ltnc_net::NodeOptions;
@@ -231,6 +231,13 @@ pub struct TopologyReport {
     /// [`TopologyConfig::trace_capacity`] is set; how long the epidemic
     /// front took to first reach each ring of the overlay.
     pub first_delivery_by_hop: Vec<Option<Duration>>,
+    /// Origin→delivery latency distributions from the **wire-carried
+    /// trace contexts**, merged across every node and keyed by the
+    /// number of overlay links the delivered data had crossed (its
+    /// recode lineage depth, not the receiving node's ring) — the
+    /// per-hop critical-path view of the dissemination. Sorted by depth;
+    /// always populated (the trace rides every DATA frame).
+    pub latency_by_hop: Vec<(usize, LogHistogramSnapshot)>,
 }
 
 impl TopologyReport {
@@ -249,6 +256,18 @@ impl TopologyReport {
     #[must_use]
     pub fn max_hops(&self) -> usize {
         self.hops.max_distance().unwrap_or(0)
+    }
+
+    /// The merged origin→delivery latency distribution at one lineage
+    /// depth ([`TopologyReport::latency_by_hop`]); empty when no payload
+    /// of that depth was delivered.
+    #[must_use]
+    pub fn latency_at(&self, hops: usize) -> LogHistogramSnapshot {
+        self.latency_by_hop
+            .iter()
+            .find(|&&(depth, _)| depth == hops)
+            .map(|(_, snapshot)| snapshot.clone())
+            .unwrap_or_else(LogHistogramSnapshot::empty)
     }
 }
 
@@ -353,6 +372,19 @@ pub fn run_topology(config: &TopologyConfig) -> io::Result<TopologyReport> {
         }
     }
 
+    // Per-hop latency from the wire-carried trace contexts: merge every
+    // node's distributions, keyed by the delivered data's lineage depth.
+    let mut latency_by_hop: Vec<(usize, LogHistogramSnapshot)> = Vec::new();
+    for report in swarm.node_reports() {
+        for (depth, snapshot) in &report.latency_by_hop {
+            match latency_by_hop.iter_mut().find(|(known, _)| known == depth) {
+                Some((_, merged)) => merged.merge(snapshot),
+                None => latency_by_hop.push((*depth, snapshot.clone())),
+            }
+        }
+    }
+    latency_by_hop.sort_unstable_by_key(|&(depth, _)| depth);
+
     Ok(TopologyReport {
         swarm,
         topology_label: config.topology.label().to_string(),
@@ -362,6 +394,7 @@ pub fn run_topology(config: &TopologyConfig) -> io::Result<TopologyReport> {
         relay_recoding_ops,
         object_len: config.object.len() as u64,
         first_delivery_by_hop,
+        latency_by_hop,
     })
 }
 

@@ -96,6 +96,25 @@ fn four_hop_line_converges_bit_exactly_under_20pct_per_link_loss() {
                 "{scheme:?}: tally on non-adjacent pair {from}→{to}"
             );
         }
+        // Wire-carried trace context: the report carries per-hop
+        // origin→delivery latency distributions keyed by recode-lineage
+        // depth. The source's neighbour always sees depth-1 data, and
+        // every recorded distribution has ordered percentiles.
+        assert!(!report.latency_by_hop.is_empty(), "{scheme:?}: no latency recorded");
+        let first_hop = report.latency_at(1);
+        assert!(first_hop.count() > 0, "{scheme:?}: no depth-1 deliveries recorded");
+        for &(depth, ref snapshot) in &report.latency_by_hop {
+            assert!(depth >= 1, "{scheme:?}: lineage depth below one link");
+            assert!(snapshot.count() > 0, "{scheme:?}: empty distribution kept at depth {depth}");
+            assert!(
+                snapshot.p50() <= snapshot.p99() && snapshot.p99() <= snapshot.quantile(1.0),
+                "{scheme:?}: unordered percentiles at depth {depth}"
+            );
+        }
+        assert!(
+            report.latency_at(99).count() == 0,
+            "{scheme:?}: latency_at must be empty for an absent depth"
+        );
     }
 }
 
