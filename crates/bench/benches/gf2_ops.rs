@@ -65,5 +65,44 @@ fn bench_payload_xor(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vector_ops, bench_payload_xor);
+/// Folding N sources into one destination: one `xor_assign` per source
+/// (N passes over the destination) against a single `xor_assign_many`
+/// pass — the shape of every encode/recode combination.
+fn bench_payload_fold(c: &mut Criterion) {
+    const SOURCES: usize = 8;
+    let mut group = c.benchmark_group("payload_fold8");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &m in &[1024usize, 64 * 1024] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let sources: Vec<Payload> = (0..SOURCES)
+            .map(|_| {
+                let mut bytes = vec![0u8; m];
+                rng.fill(&mut bytes[..]);
+                Payload::from_vec(bytes)
+            })
+            .collect();
+        group.throughput(Throughput::Bytes((m * SOURCES) as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut acc = sources[0].clone();
+                for src in &sources[1..] {
+                    acc.xor_assign(src);
+                }
+                std::hint::black_box(acc.as_bytes()[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut acc = sources[0].clone();
+                let rest: Vec<&Payload> = sources[1..].iter().collect();
+                acc.xor_assign_many(&rest);
+                std::hint::black_box(acc.as_bytes()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vector_ops, bench_payload_xor, bench_payload_fold);
 criterion_main!(benches);

@@ -16,6 +16,7 @@
 //! | `line8`         | 8-hop line topology, same loss |
 //! | `striped_fetch` | one object striped across 3 warm TCP replicas |
 //! | `warm_cache`    | warm-ring symbol serving (store hit path, no sockets) |
+//! | `gf2_kernel`    | raw coding kernel: bulk payload XOR + relay recode, no sockets |
 //!
 //! Flags: `--smoke` (CI-sized runs), `--out <dir>` (where the JSON
 //! lands, default `.`), `--only <scenario>` (repeatable filter),
@@ -35,6 +36,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use ltnc_gf2::{EncodedPacket, Payload};
 use ltnc_metrics::LogHistogramSnapshot;
 use ltnc_net::faults::{DatagramFaultPlan, DatagramFaults};
 use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig};
@@ -49,7 +51,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Every scenario this binary knows, in report order.
-const SCENARIOS: [&str; 7] = [
+const SCENARIOS: [&str; 8] = [
     "pacing_loss10",
     "pacing_loss20",
     "pacing_loss30",
@@ -57,6 +59,7 @@ const SCENARIOS: [&str; 7] = [
     "line8",
     "striped_fetch",
     "warm_cache",
+    "gf2_kernel",
 ];
 
 /// One scenario's measured outcome, ready to serialize.
@@ -288,6 +291,56 @@ fn warm_cache(smoke: bool, seed: u64) -> Result<Outcome, String> {
     })
 }
 
+/// The raw coding kernel, no sockets: the goodput figure is payload
+/// bytes pushed through the word-sliced XOR paths per second (a bulk
+/// `xor_assign` phase plus a warm RLNC relay recoding packets), and the
+/// latency histogram is per-recode wall time in nanoseconds.
+fn gf2_kernel(smoke: bool, seed: u64) -> Result<Outcome, String> {
+    let (k, m) = (128usize, 1024usize);
+    let xor_passes: u64 = if smoke { 20_000 } else { 200_000 };
+    let recodes: u64 = if smoke { 5_000 } else { 50_000 };
+
+    // Phase 1: bulk destructive XOR, the innermost data-plane operation.
+    let mut dst = Payload::from_vec(pseudo_object(m, 0xD57 ^ seed));
+    let src = Payload::from_vec(pseudo_object(m, 0x54C ^ seed));
+    let xor_started = Instant::now();
+    for _ in 0..xor_passes {
+        dst.xor_assign(&src);
+        std::hint::black_box(&mut dst);
+    }
+    let xor_elapsed = xor_started.elapsed();
+
+    // Phase 2: a warm relay recoding from a full buffer — the XOR batch
+    // fold plus vector work and RNG, as a relay node actually runs it.
+    let mut node = ltnc_rlnc::RlncNode::new(k, m);
+    for i in 0..k {
+        let native = Payload::from_vec(pseudo_object(m, (i as u64) << 8 | (0xAB ^ seed)));
+        node.receive(&EncodedPacket::native(k, i, native));
+    }
+    let mut rng = SmallRng::seed_from_u64(0x4EC0DE ^ seed);
+    let histogram = ltnc_metrics::LogHistogram::new();
+    let recode_started = Instant::now();
+    for _ in 0..recodes {
+        let before = Instant::now();
+        let packet = node.recode(&mut rng).map_err(|e| format!("recode failed: {e:?}"))?;
+        let nanos = u64::try_from(before.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        histogram.record(nanos);
+        std::hint::black_box(&packet);
+    }
+    let recode_elapsed = recode_started.elapsed();
+
+    // Goodput counts bytes actually pushed through the XOR kernels: the
+    // bulk passes plus every payload the recoder folded (its own ledger).
+    let folded = node.recoding_counters().get(ltnc_metrics::OpKind::PayloadXor);
+    Ok(Outcome {
+        delivered_bytes: (xor_passes + folded) * m as u64,
+        elapsed: xor_elapsed + recode_elapsed,
+        latency: histogram.snapshot(),
+        latency_unit: "ns",
+        by_hop: Vec::new(),
+    })
+}
+
 /// Runs a scenario `passes` times and keeps the best-goodput pass. The
 /// dissemination runs are loss/timeout-bound but a slow pass still
 /// happens when the tail generation eats an extra retry round; two
@@ -313,6 +366,7 @@ fn run_scenario(name: &str, smoke: bool, seed: u64) -> Result<Outcome, String> {
         "line8" => best_of(2, || line(8, smoke, seed)),
         "striped_fetch" => striped(smoke, seed),
         "warm_cache" => warm_cache(smoke, seed),
+        "gf2_kernel" => best_of(3, || gf2_kernel(smoke, seed)),
         _ => Err(format!("unknown scenario {name:?}")),
     }
 }

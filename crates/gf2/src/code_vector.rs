@@ -35,6 +35,19 @@ impl CodeVector {
         CodeVector { len, words: vec![0; n_words] }
     }
 
+    /// Wraps already-valid backing words (crate-internal: callers must uphold
+    /// the word count and trailing-zero invariants, e.g. a reduction residual
+    /// of vectors that satisfied them).
+    pub(crate) fn from_words(len: usize, words: Vec<u64>) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(WORD_BITS));
+        debug_assert!(
+            len.is_multiple_of(WORD_BITS)
+                || words.last().is_none_or(|w| w >> (len % WORD_BITS) == 0),
+            "trailing bits beyond len must be zero"
+        );
+        CodeVector { len, words }
+    }
+
     /// Creates a vector with exactly one bit set: the native packet `index`.
     ///
     /// # Panics
@@ -45,6 +58,56 @@ impl CodeVector {
         let mut v = CodeVector::zero(len);
         v.set(index);
         v
+    }
+
+    /// Builds a vector of length `len` directly from its wire bitmap: exactly
+    /// `⌈len/8⌉` bytes, bit `i` in byte `i / 8` at position `i % 8`. That bit
+    /// order is the little-endian byte layout of the backing `u64` words, so
+    /// the bitmap is decoded eight bytes per step instead of one bit at a
+    /// time. Padding bits beyond `len` in the final byte are ignored (masked
+    /// off, preserving the trailing-zero invariant of the last word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly `⌈len/8⌉` bytes long.
+    #[must_use]
+    pub fn from_le_bytes(len: usize, bytes: &[u8]) -> Self {
+        assert_eq!(
+            bytes.len(),
+            len.div_ceil(8),
+            "bitmap for a length-{len} vector must be {} bytes",
+            len.div_ceil(8)
+        );
+        let mut words = Vec::with_capacity(len.div_ceil(WORD_BITS));
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            words.push(u64::from_le_bytes(chunk.try_into().expect("word-sized chunk")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..tail.len()].copy_from_slice(tail);
+            words.push(u64::from_le_bytes(buf));
+        }
+        if !len.is_multiple_of(WORD_BITS) {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % WORD_BITS)) - 1;
+            }
+        }
+        CodeVector { len, words }
+    }
+
+    /// Appends the wire bitmap (`⌈len/8⌉` bytes, inverse of
+    /// [`CodeVector::from_le_bytes`]) to `out`, emitting whole words at a
+    /// time. The trailing-zero invariant makes truncating the last word's
+    /// bytes lossless.
+    pub fn write_le_bytes(&self, out: &mut Vec<u8>) {
+        let mut remaining = self.wire_size_bytes();
+        for word in &self.words {
+            let take = remaining.min(8);
+            out.extend_from_slice(&word.to_le_bytes()[..take]);
+            remaining -= take;
+        }
     }
 
     /// Creates a vector with the given native packet indices set.
@@ -387,6 +450,36 @@ mod tests {
     #[test]
     fn first_one_of_zero_is_none() {
         assert_eq!(CodeVector::zero(50).first_one(), None);
+    }
+
+    #[test]
+    fn le_bytes_roundtrip_preserves_bits() {
+        for &len in &[1usize, 7, 8, 9, 63, 64, 65, 127, 128, 129] {
+            let indices: Vec<usize> = (0..len).step_by(3).collect();
+            let v = CodeVector::from_indices(len, &indices);
+            let mut wire = Vec::new();
+            v.write_le_bytes(&mut wire);
+            assert_eq!(wire.len(), v.wire_size_bytes());
+            assert_eq!(CodeVector::from_le_bytes(len, &wire), v, "len {len}");
+        }
+    }
+
+    #[test]
+    fn from_le_bytes_masks_padding_bits() {
+        // len = 5 needs one byte; bits 5..8 are padding and must be dropped.
+        let v = CodeVector::from_le_bytes(5, &[0b1111_1111]);
+        assert_eq!(v.ones(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(v.as_words(), &[0b1_1111]);
+        // len = 68: padding lives in the second word.
+        let v = CodeVector::from_le_bytes(68, &[0xFF; 9]);
+        assert_eq!(v.degree(), 68);
+        assert_eq!(v.as_words()[1], 0b1111);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 2 bytes")]
+    fn from_le_bytes_rejects_wrong_size() {
+        let _ = CodeVector::from_le_bytes(9, &[0]);
     }
 
     #[test]

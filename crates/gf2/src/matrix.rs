@@ -1,6 +1,32 @@
+use core::cell::RefCell;
 use core::fmt;
 
 use crate::{CodeVector, Gf2Error};
+
+std::thread_local! {
+    /// Reduction scratch shared by every innovation check on the thread: the
+    /// incoming vector's words are copied here and reduced in place, so the
+    /// receive-path `is_innovative` calls allocate nothing after warm-up.
+    static REDUCE_SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Index of the lowest set bit across `words`, or `None` when all are zero.
+#[inline]
+fn first_one_in_words(words: &[u64]) -> Option<usize> {
+    words
+        .iter()
+        .enumerate()
+        .find(|(_, &w)| w != 0)
+        .map(|(wi, &w)| wi * 64 + w.trailing_zeros() as usize)
+}
+
+/// XORs `src` into `dst` word by word.
+#[inline]
+fn xor_words(dst: &mut [u64], src: &[u64]) {
+    for (a, b) in dst.iter_mut().zip(src) {
+        *a ^= *b;
+    }
+}
 
 /// A dense GF(2) matrix whose rows are [`CodeVector`]s.
 ///
@@ -68,10 +94,24 @@ impl Gf2Matrix {
     /// Reduces `vector` against the current pivots without modifying the matrix
     /// and returns `true` when the residual is non-zero (the row would increase
     /// the rank). This is the partial Gaussian reduction the paper's RLNC
-    /// baseline uses to detect non-innovative packets on reception.
+    /// baseline uses to detect non-innovative packets on reception; it runs in
+    /// a reused scratch buffer and does not clone the vector.
     #[must_use]
     pub fn is_innovative(&self, vector: &CodeVector) -> bool {
-        !self.reduce(vector.clone()).0.is_zero()
+        REDUCE_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.clear();
+            scratch.extend_from_slice(vector.as_words());
+            loop {
+                match first_one_in_words(&scratch) {
+                    None => return false,
+                    Some(col) => match self.pivots[col] {
+                        Some(row) => xor_words(&mut scratch, self.rows[row].as_words()),
+                        None => return true,
+                    },
+                }
+            }
+        })
     }
 
     /// Inserts a row, keeping the matrix in row-echelon form.
@@ -209,18 +249,70 @@ impl Gf2Solver {
     }
 
     /// Returns `true` when the vector would increase the rank.
+    ///
+    /// Reduces into a reused scratch buffer: no clone, no allocation.
     #[must_use]
     pub fn is_innovative(&self, vector: &CodeVector) -> bool {
-        let mut v = vector.clone();
-        loop {
-            match v.first_one() {
-                None => return false,
-                Some(col) => match self.pivots[col] {
-                    Some(row) => v.xor_assign(&self.rows[row]),
-                    None => return true,
-                },
+        REDUCE_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.clear();
+            scratch.extend_from_slice(vector.as_words());
+            loop {
+                match first_one_in_words(&scratch) {
+                    None => return false,
+                    Some(col) => match self.pivots[col] {
+                        Some(row) => xor_words(&mut scratch, self.rows[row].as_words()),
+                        None => return true,
+                    },
+                }
             }
+        })
+    }
+
+    /// Reduce-once insertion for the receive path: reduces `vector` against
+    /// the current pivots a single time and stores it only when innovative,
+    /// returning the id assigned to the stored row. Redundant vectors consume
+    /// no id (callers that keep payload buffers aligned with ids drop the
+    /// packet in that case), and the single reduction replaces the
+    /// `is_innovative` + [`Gf2Solver::insert`] double walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from `k`, or if the row would be
+    /// innovative and `capacity` rows have already been inserted.
+    pub fn insert_if_innovative(&mut self, vector: &CodeVector) -> Option<usize> {
+        assert_eq!(vector.len(), self.k, "row length must match code length");
+        let mut used_rows: Vec<usize> = Vec::new();
+        let residual = REDUCE_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.clear();
+            scratch.extend_from_slice(vector.as_words());
+            loop {
+                match first_one_in_words(&scratch) {
+                    None => return None,
+                    Some(col) => match self.pivots[col] {
+                        Some(row) => {
+                            xor_words(&mut scratch, self.rows[row].as_words());
+                            used_rows.push(row);
+                        }
+                        None => return Some((col, scratch.clone())),
+                    },
+                }
+            }
+        });
+        self.row_ops += used_rows.len() as u64;
+        let (col, words) = residual?;
+        assert!(self.inserted < self.capacity, "solver capacity exceeded");
+        let id = self.inserted;
+        self.inserted += 1;
+        let mut combo = CodeVector::singleton(self.capacity, id);
+        for &row in &used_rows {
+            combo.xor_assign(&self.combos[row]);
         }
+        self.pivots[col] = Some(self.rows.len());
+        self.rows.push(CodeVector::from_words(self.k, words));
+        self.combos.push(combo);
+        Some(id)
     }
 
     /// Inserts a received code vector. Returns the id assigned to the row (its
@@ -437,6 +529,52 @@ mod tests {
         let mut s = Gf2Solver::new(2, 1);
         s.insert(cv(2, &[0]));
         s.insert(cv(2, &[1]));
+    }
+
+    #[test]
+    fn insert_if_innovative_skips_redundant_rows_without_consuming_ids() {
+        let mut s = Gf2Solver::new(3, 8);
+        assert_eq!(s.insert_if_innovative(&cv(3, &[0, 1])), Some(0));
+        assert_eq!(s.insert_if_innovative(&cv(3, &[1, 2])), Some(1));
+        // row0 + row1 is dependent: rejected, no id consumed, rank unchanged.
+        assert_eq!(s.insert_if_innovative(&cv(3, &[0, 2])), None);
+        assert_eq!(s.inserted(), 2);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.insert_if_innovative(&cv(3, &[2])), Some(2));
+        assert!(s.is_full_rank());
+    }
+
+    #[test]
+    fn insert_if_innovative_matches_insert_solutions() {
+        // Same rows through both entry points must yield the same recipes.
+        let rows: &[&[usize]] = &[&[0, 1], &[1], &[1, 2], &[0, 2], &[2]];
+        let mut a = Gf2Solver::new(3, 8);
+        let mut b = Gf2Solver::new(3, 8);
+        for r in rows {
+            let innovative = a.is_innovative(&cv(3, r));
+            if innovative {
+                a.insert(cv(3, r));
+            }
+            assert_eq!(b.insert_if_innovative(&cv(3, r)).is_some(), innovative);
+        }
+        assert_eq!(a.solve().unwrap(), b.solve().unwrap());
+    }
+
+    #[test]
+    fn insert_if_innovative_counts_row_ops_on_both_paths() {
+        let mut s = Gf2Solver::new(3, 8);
+        s.insert_if_innovative(&cv(3, &[0]));
+        let before = s.row_ops();
+        // Redundant row still pays its reduction.
+        assert_eq!(s.insert_if_innovative(&cv(3, &[0])), None);
+        assert!(s.row_ops() > before);
+    }
+
+    #[test]
+    fn insert_if_innovative_rejects_zero_row() {
+        let mut s = Gf2Solver::new(4, 8);
+        assert_eq!(s.insert_if_innovative(&cv(4, &[])), None);
+        assert_eq!(s.inserted(), 0);
     }
 
     proptest! {

@@ -1,9 +1,35 @@
 use core::fmt;
 
-use bytes::{Bytes, BytesMut};
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use crate::Gf2Error;
+
+/// Bytes per XOR word: the kernel walks payloads in `u64` steps.
+const WORD_BYTES: usize = 8;
+/// Bytes per fold lane in [`Payload::xor_assign_many`]: one cache line.
+const LANE_BYTES: usize = 64;
+/// Words per fold lane.
+const LANE_WORDS: usize = LANE_BYTES / WORD_BYTES;
+
+/// XORs `src` into `dst` word-sliced: `u64` chunks with a byte-wise tail.
+///
+/// Endianness does not matter for XOR, so the words are read and written
+/// native-endian; the result is byte-for-byte identical to the scalar loop.
+#[inline]
+fn xor_slices(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut dst_words = dst.chunks_exact_mut(WORD_BYTES);
+    let mut src_words = src.chunks_exact(WORD_BYTES);
+    for (d, s) in dst_words.by_ref().zip(src_words.by_ref()) {
+        let x = u64::from_ne_bytes(d.try_into().expect("word-sized chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("word-sized chunk"));
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (d, s) in dst_words.into_remainder().iter_mut().zip(src_words.remainder()) {
+        *d ^= *s;
+    }
+}
 
 /// The data part of a packet: `m` bytes combined by XOR.
 ///
@@ -51,7 +77,9 @@ impl Payload {
     /// Returns `true` when every byte is zero.
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.bytes.iter().all(|&b| b == 0)
+        let mut words = self.bytes.chunks_exact(WORD_BYTES);
+        words.by_ref().all(|w| u64::from_ne_bytes(w.try_into().expect("word-sized chunk")) == 0)
+            && words.remainder().iter().all(|&b| b == 0)
     }
 
     /// Read-only view of the payload bytes.
@@ -70,12 +98,10 @@ impl Payload {
     /// e.g. to hand packets to a transport layer.
     #[must_use]
     pub fn to_bytes(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(self.bytes.len());
-        b.extend_from_slice(&self.bytes);
-        b.freeze()
+        Bytes::from(self.bytes.clone())
     }
 
-    /// Adds `other` to `self` over GF(2) (byte-wise XOR).
+    /// Adds `other` to `self` over GF(2) (word-sliced XOR).
     ///
     /// # Panics
     ///
@@ -86,9 +112,7 @@ impl Payload {
             other.bytes.len(),
             "cannot combine payloads of different sizes"
         );
-        for (a, b) in self.bytes.iter_mut().zip(&other.bytes) {
-            *a ^= *b;
-        }
+        xor_slices(&mut self.bytes, &other.bytes);
     }
 
     /// Checked variant of [`Payload::xor_assign`].
@@ -109,14 +133,80 @@ impl Payload {
 
     /// Returns `self ⊕ other` without modifying either operand.
     ///
+    /// Builds the result in a single pass (no clone-then-rewalk).
+    ///
     /// # Panics
     ///
     /// Panics if the payload sizes differ.
     #[must_use]
     pub fn xor(&self, other: &Payload) -> Payload {
-        let mut out = self.clone();
-        out.xor_assign(other);
-        out
+        assert_eq!(
+            self.bytes.len(),
+            other.bytes.len(),
+            "cannot combine payloads of different sizes"
+        );
+        let mut out = Vec::with_capacity(self.bytes.len());
+        let mut a_words = self.bytes.chunks_exact(WORD_BYTES);
+        let mut b_words = other.bytes.chunks_exact(WORD_BYTES);
+        for (a, b) in a_words.by_ref().zip(b_words.by_ref()) {
+            let x = u64::from_ne_bytes(a.try_into().expect("word-sized chunk"))
+                ^ u64::from_ne_bytes(b.try_into().expect("word-sized chunk"));
+            out.extend_from_slice(&x.to_ne_bytes());
+        }
+        for (a, b) in a_words.remainder().iter().zip(b_words.remainder()) {
+            out.push(a ^ b);
+        }
+        Payload { bytes: out }
+    }
+
+    /// Folds every payload in `sources` into `self` in one pass over the
+    /// buffer: each cache line of `self` is loaded once, XORed with the
+    /// matching line of every source, and stored once. Recoding relays that
+    /// combine `ln k + 20` buffered packets per emitted packet use this
+    /// instead of N separate [`Payload::xor_assign`] walks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source size differs from `self`.
+    pub fn xor_assign_many(&mut self, sources: &[&Payload]) {
+        for src in sources {
+            assert_eq!(
+                self.bytes.len(),
+                src.bytes.len(),
+                "cannot combine payloads of different sizes"
+            );
+        }
+        if sources.is_empty() {
+            return;
+        }
+        let len = self.bytes.len();
+        let lanes_end = len - len % LANE_BYTES;
+        let mut offset = 0;
+        while offset < lanes_end {
+            // Slice each lane once, then walk it with `chunks_exact`: the
+            // single up-front bounds check is all the optimizer needs to
+            // keep the accumulator loop branch-free and vectorized.
+            let mut acc = [0u64; LANE_WORDS];
+            let dst_lane = &self.bytes[offset..offset + LANE_BYTES];
+            for (word, chunk) in acc.iter_mut().zip(dst_lane.chunks_exact(WORD_BYTES)) {
+                *word = u64::from_ne_bytes(chunk.try_into().expect("word-sized chunk"));
+            }
+            for src in sources {
+                let src_lane = &src.bytes[offset..offset + LANE_BYTES];
+                for (word, chunk) in acc.iter_mut().zip(src_lane.chunks_exact(WORD_BYTES)) {
+                    *word ^= u64::from_ne_bytes(chunk.try_into().expect("word-sized chunk"));
+                }
+            }
+            let dst_lane = &mut self.bytes[offset..offset + LANE_BYTES];
+            for (chunk, word) in dst_lane.chunks_exact_mut(WORD_BYTES).zip(acc) {
+                chunk.copy_from_slice(&word.to_ne_bytes());
+            }
+            offset += LANE_BYTES;
+        }
+        // Sub-cache-line tail: word-sliced per source (at most 63 bytes each).
+        for src in sources {
+            xor_slices(&mut self.bytes[lanes_end..], &src.bytes[lanes_end..]);
+        }
     }
 }
 
@@ -179,6 +269,38 @@ mod tests {
     fn xor_assign_panics_on_size_mismatch() {
         let mut a = Payload::zero(4);
         a.xor_assign(&Payload::zero(5));
+    }
+
+    #[test]
+    fn xor_assign_many_matches_sequential_folds() {
+        // Length chosen to exercise full lanes, a word tail, and a byte tail.
+        let m = 2 * 64 + 8 + 3;
+        let mk =
+            |seed: u8| Payload::from_vec((0..m).map(|j| (j as u8).wrapping_mul(seed)).collect());
+        let sources = [mk(3), mk(5), mk(7), mk(11), mk(13)];
+        let refs: Vec<&Payload> = sources.iter().collect();
+        let mut batched = mk(1);
+        let mut sequential = mk(1);
+        batched.xor_assign_many(&refs);
+        for s in &sources {
+            sequential.xor_assign(s);
+        }
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn xor_assign_many_with_no_sources_is_identity() {
+        let mut a = Payload::from_vec(vec![1, 2, 3]);
+        a.xor_assign_many(&[]);
+        assert_eq!(a.as_bytes(), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sizes")]
+    fn xor_assign_many_panics_on_size_mismatch() {
+        let mut a = Payload::zero(4);
+        let b = Payload::zero(5);
+        a.xor_assign_many(&[&b]);
     }
 
     #[test]

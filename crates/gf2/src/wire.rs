@@ -64,11 +64,9 @@ pub fn encode_header(vector: &CodeVector, payload_size: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(header_size(k));
     out.extend_from_slice(&(k as u32).to_le_bytes());
     out.extend_from_slice(&(payload_size as u32).to_le_bytes());
-    let mut bitmap = vec![0u8; k.div_ceil(8)];
-    for i in vector.iter_ones() {
-        bitmap[i / 8] |= 1 << (i % 8);
-    }
-    out.extend_from_slice(&bitmap);
+    // The wire bit order (bit i in byte i/8 at position i%8) is exactly the
+    // little-endian byte layout of the bitmap words, so they go out whole.
+    vector.write_le_bytes(&mut out);
     out
 }
 
@@ -98,30 +96,89 @@ pub fn decode_header(bytes: &[u8]) -> Result<(usize, usize, CodeVector), Gf2Erro
     if bytes.len() < needed {
         return Err(Gf2Error::LengthMismatch { left: bytes.len(), right: needed });
     }
-    let mut vector = CodeVector::zero(k);
-    for i in 0..k {
-        if bytes[FIXED_HEADER_BYTES + i / 8] >> (i % 8) & 1 == 1 {
-            vector.set(i);
-        }
-    }
+    // Word-at-a-time bitmap decode; padding bits in the final byte are
+    // masked off, exactly as the bit-by-bit loop ignored them.
+    let vector = CodeVector::from_le_bytes(k, &bytes[FIXED_HEADER_BYTES..needed]);
     Ok((k, m, vector))
 }
 
-/// Decodes a full frame back into an [`EncodedPacket`].
+/// A decoded frame whose payload still borrows the receive buffer.
+///
+/// The code vector is owned (it is small and every receive path inspects it),
+/// but the `m` payload bytes stay in place: a receiver that rejects the
+/// packet — redundant vector, completed generation, mismatched session —
+/// never copies them. [`PacketView::to_packet`] is the single point where a
+/// retained packet pays the copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketView<'buf> {
+    vector: CodeVector,
+    payload: &'buf [u8],
+}
+
+impl<'buf> PacketView<'buf> {
+    /// The code vector of the framed packet.
+    #[must_use]
+    pub fn vector(&self) -> &CodeVector {
+        &self.vector
+    }
+
+    /// Code length `k`.
+    #[must_use]
+    pub fn code_length(&self) -> usize {
+        self.vector.len()
+    }
+
+    /// Payload size `m` in bytes.
+    #[must_use]
+    pub fn payload_size(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// The payload bytes, still borrowing the receive buffer.
+    #[must_use]
+    pub fn payload_bytes(&self) -> &'buf [u8] {
+        self.payload
+    }
+
+    /// Materializes an owned [`EncodedPacket`], copying the payload out of
+    /// the receive buffer. Call this only when the packet is retained.
+    #[must_use]
+    pub fn to_packet(&self) -> EncodedPacket {
+        EncodedPacket::new(self.vector.clone(), Payload::from_slice(self.payload))
+    }
+
+    /// Like [`PacketView::to_packet`] but consumes the view, moving the
+    /// already-decoded vector instead of cloning it.
+    #[must_use]
+    pub fn into_packet(self) -> EncodedPacket {
+        EncodedPacket::new(self.vector, Payload::from_slice(self.payload))
+    }
+}
+
+/// Decodes a full frame into a [`PacketView`] borrowing the payload bytes.
 ///
 /// # Errors
 ///
 /// Returns [`Gf2Error::LengthMismatch`] when the buffer is shorter than the
 /// header plus the advertised payload size.
-pub fn decode(bytes: &[u8]) -> Result<EncodedPacket, Gf2Error> {
+pub fn decode_view(bytes: &[u8]) -> Result<PacketView<'_>, Gf2Error> {
     let (k, m, vector) = decode_header(bytes)?;
     let start = header_size(k);
     let end = start + m;
     if bytes.len() < end {
         return Err(Gf2Error::LengthMismatch { left: bytes.len(), right: end });
     }
-    let payload = Payload::from_slice(&bytes[start..end]);
-    Ok(EncodedPacket::new(vector, payload))
+    Ok(PacketView { vector, payload: &bytes[start..end] })
+}
+
+/// Decodes a full frame back into an owned [`EncodedPacket`].
+///
+/// # Errors
+///
+/// Returns [`Gf2Error::LengthMismatch`] when the buffer is shorter than the
+/// header plus the advertised payload size.
+pub fn decode(bytes: &[u8]) -> Result<EncodedPacket, Gf2Error> {
+    decode_view(bytes).map(PacketView::into_packet)
 }
 
 #[cfg(test)]
@@ -198,6 +255,37 @@ mod tests {
         let p = EncodedPacket::new(CodeVector::zero(5), Payload::zero(0));
         let decoded = decode(&encode(&p)).unwrap();
         assert_eq!(decoded, p);
+    }
+
+    /// Golden bytes: the exact frame for a fixed packet. Pins the wire format
+    /// so the word-sliced bitmap encode/decode cannot change bytes on the
+    /// wire (bit `i` of the bitmap lives in byte `i/8` at position `i%8`).
+    #[test]
+    fn golden_frame_bytes_are_stable() {
+        let p = pk(19, &[0, 7, 8, 18], &[1, 2, 3, 4, 5]);
+        let expected: &[u8] = &[
+            0x13, 0x00, 0x00, 0x00, // k = 19, u32 LE
+            0x05, 0x00, 0x00, 0x00, // m = 5, u32 LE
+            0x81, 0x01, 0x04, // bitmap: bits 0,7 | bit 8 | bit 18
+            0x01, 0x02, 0x03, 0x04, 0x05, // payload
+        ];
+        assert_eq!(encode(&p), expected);
+        assert_eq!(encode_header(p.vector(), 5), &expected[..header_size(19)]);
+        assert_eq!(decode(expected).unwrap(), p);
+    }
+
+    #[test]
+    fn decode_view_borrows_the_payload_in_place() {
+        let p = pk(19, &[0, 7, 8, 18], &[1, 2, 3, 4, 5]);
+        let bytes = encode(&p);
+        let view = decode_view(&bytes).unwrap();
+        assert_eq!(view.vector(), p.vector());
+        assert_eq!(view.code_length(), 19);
+        assert_eq!(view.payload_size(), 5);
+        // The view's payload is the frame's own bytes, not a copy.
+        assert!(std::ptr::eq(view.payload_bytes().as_ptr(), bytes[header_size(19)..].as_ptr()));
+        assert_eq!(view.to_packet(), p);
+        assert_eq!(view.into_packet(), p);
     }
 
     proptest! {

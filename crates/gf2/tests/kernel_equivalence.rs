@@ -1,0 +1,158 @@
+//! Property suite pinning the word-sliced GF(2) kernels to their scalar
+//! (byte- and bit-at-a-time) reference implementations.
+//!
+//! The word-sliced paths in `payload.rs`, `code_vector.rs` and `wire.rs`
+//! process 8 bytes (or a whole cache line) per step with `chunks_exact`
+//! remainder tails; every length in `0..=129` exercises the empty case,
+//! sub-word payloads, exact word multiples and every tail length, plus
+//! code lengths that are not multiples of 8 (partial final bitmap byte)
+//! or of 64 (partial final word).
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+use ltnc_gf2::wire;
+use ltnc_gf2::{CodeVector, EncodedPacket, Payload};
+
+/// Scalar reference: byte-at-a-time XOR.
+fn xor_bytes_scalar(a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x ^ y).collect()
+}
+
+/// Scalar reference: bit-at-a-time bitmap decode (the pre-word-slicing
+/// wire decoder), ignoring any padding bits in the final bitmap byte.
+fn bitmap_decode_scalar(len: usize, bytes: &[u8]) -> CodeVector {
+    assert_eq!(bytes.len(), len.div_ceil(8));
+    let mut vector = CodeVector::zero(len);
+    for i in 0..len {
+        if bytes[i / 8] >> (i % 8) & 1 == 1 {
+            vector.set(i);
+        }
+    }
+    vector
+}
+
+/// Payload lengths covering empty, sub-word, word-aligned, cache-line
+/// aligned and every remainder tail in between.
+fn payload_len() -> impl Strategy<Value = usize> {
+    0usize..=129
+}
+
+/// Code lengths >= 1 (a zero-length code is rejected by the wire codec).
+fn code_len() -> impl Strategy<Value = usize> {
+    1usize..=129
+}
+
+proptest! {
+    #[test]
+    fn xor_assign_matches_scalar(
+        len in payload_len(),
+        seed_a in any::<u8>(),
+        seed_b in any::<u8>(),
+    ) {
+        let a: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed_a)).collect();
+        let b: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(17).wrapping_add(seed_b)).collect();
+        let expected = xor_bytes_scalar(&a, &b);
+
+        let mut p = Payload::from_vec(a.clone());
+        p.xor_assign(&Payload::from_vec(b.clone()));
+        prop_assert_eq!(p.as_bytes(), &expected[..]);
+
+        // The non-destructive single-pass variant agrees.
+        let q = Payload::from_vec(a).xor(&Payload::from_vec(b));
+        prop_assert_eq!(q.as_bytes(), &expected[..]);
+    }
+
+    #[test]
+    fn xor_assign_many_matches_sequential_scalar(
+        len in payload_len(),
+        sources in pvec(any::<u8>(), 0..7),
+    ) {
+        let base: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(13)).collect();
+        let srcs: Vec<Vec<u8>> = sources
+            .iter()
+            .map(|&s| (0..len).map(|i| (i as u8).wrapping_mul(7).wrapping_add(s)).collect())
+            .collect();
+
+        let mut expected = base.clone();
+        for src in &srcs {
+            expected = xor_bytes_scalar(&expected, src);
+        }
+
+        let payloads: Vec<Payload> = srcs.into_iter().map(Payload::from_vec).collect();
+        let refs: Vec<&Payload> = payloads.iter().collect();
+        let mut batched = Payload::from_vec(base);
+        batched.xor_assign_many(&refs);
+        prop_assert_eq!(batched.as_bytes(), &expected[..]);
+    }
+
+    #[test]
+    fn is_zero_matches_scalar(len in payload_len(), plant in any::<bool>(), at in any::<usize>()) {
+        let mut bytes = vec![0u8; len];
+        if plant && len > 0 {
+            // Plant a single one at an arbitrary position (word interior,
+            // word boundary or remainder tail, depending on `at % len`).
+            bytes[at % len] = 1;
+        }
+        let expected = bytes.iter().all(|&b| b == 0);
+        prop_assert_eq!(Payload::from_vec(bytes).is_zero(), expected);
+    }
+
+    #[test]
+    fn bitmap_word_decode_matches_bit_decode(
+        k in code_len(),
+        fill in pvec(any::<u8>(), 17),
+    ) {
+        let bitmap_len = k.div_ceil(8);
+        let bytes: Vec<u8> = (0..bitmap_len).map(|i| fill[i % fill.len()]).collect();
+
+        let word_decoded = CodeVector::from_le_bytes(k, &bytes);
+        let bit_decoded = bitmap_decode_scalar(k, &bytes);
+        prop_assert_eq!(&word_decoded, &bit_decoded);
+
+        // Trailing-bit invariant: bits past `k` never leak into the degree
+        // (padding bits in the final byte are masked off by the decoder).
+        prop_assert_eq!(word_decoded.degree(), word_decoded.iter_ones().count());
+        prop_assert!(word_decoded.iter_ones().all(|i| i < k));
+
+        // Re-encoding reproduces the wire bytes up to the masked padding.
+        let mut reencoded = Vec::new();
+        word_decoded.write_le_bytes(&mut reencoded);
+        prop_assert_eq!(reencoded.len(), bitmap_len);
+        for (i, (&ours, &theirs)) in reencoded.iter().zip(&bytes).enumerate() {
+            let valid_bits = (k - i * 8).min(8);
+            let mask = if valid_bits == 8 { 0xFF } else { (1u8 << valid_bits) - 1 };
+            prop_assert_eq!(ours, theirs & mask, "byte {} (mask {:#04x})", i, mask);
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_survives_all_shapes(
+        k in code_len(),
+        payload_size in payload_len(),
+        ones in pvec(any::<usize>(), 1..9),
+    ) {
+        let indices: Vec<usize> = ones.iter().map(|&o| o % k).collect();
+        let vector = CodeVector::from_indices(k, &indices);
+        let payload = Payload::from_vec((0..payload_size).map(|i| i as u8).collect());
+        let packet = EncodedPacket::new(vector, payload);
+
+        let frame = wire::encode(&packet);
+
+        // Owned decode, borrowed decode and header decode all agree.
+        let decoded = wire::decode(&frame).expect("roundtrip");
+        prop_assert_eq!(&decoded, &packet);
+
+        let view = wire::decode_view(&frame).expect("roundtrip");
+        prop_assert_eq!(view.vector(), packet.vector());
+        prop_assert_eq!(view.payload_bytes(), packet.payload().as_bytes());
+        prop_assert_eq!(&view.into_packet(), &packet);
+
+        let (code_length, decoded_size, header_vector) =
+            wire::decode_header(&frame).expect("header prefix");
+        prop_assert_eq!(code_length, k);
+        prop_assert_eq!(decoded_size, payload_size);
+        prop_assert_eq!(&header_vector, packet.vector());
+    }
+}

@@ -222,15 +222,19 @@ impl BpDecoder {
         let mut events = Vec::new();
         let mut newly_decoded = Vec::new();
 
-        // Reduce the incoming packet against already-decoded natives.
+        // Reduce the incoming packet against already-decoded natives, folding
+        // all of them into the payload in one batched pass.
         let (mut vector, mut payload) = packet.into_parts();
+        let mut sources: Vec<&Payload> = Vec::new();
         for x in vector.ones() {
             if let Some(value) = &self.decoded[x] {
-                payload.xor_assign(value);
+                sources.push(value);
                 vector.clear(x);
-                self.payload_xor_ops += 1;
             }
         }
+        payload.xor_assign_many(&sources);
+        self.payload_xor_ops += sources.len() as u64;
+        drop(sources);
 
         let outcome = match vector.degree() {
             0 => {
@@ -274,8 +278,10 @@ impl BpDecoder {
         let mut queue: VecDeque<usize> = newly_decoded.iter().copied().collect();
         // `newly_decoded` already contains the seeds; only append new ones below.
         while let Some(x) = queue.pop_front() {
-            let value = self.decoded[x].clone().expect("queued natives are decoded");
-            let touched = self.graph.eliminate_native(x, &value);
+            // Disjoint field borrows: the decoded value is read in place (no
+            // per-ripple payload clone) while the graph is reduced.
+            let value = self.decoded[x].as_ref().expect("queued natives are decoded");
+            let touched = self.graph.eliminate_native(x, value);
             self.payload_xor_ops += touched.len() as u64;
             self.edge_updates += touched.len() as u64;
             for (id, new_degree) in touched {

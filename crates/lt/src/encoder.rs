@@ -108,11 +108,15 @@ impl<D: DegreeDistribution> LtEncoder<D> {
         let degree = degree.clamp(1, k);
         let chosen = sample_indices(rng, k, degree);
         let mut vector = CodeVector::zero(k);
-        let mut payload = Payload::zero(self.payload_size);
+        let mut sources = Vec::with_capacity(degree);
         for i in chosen.iter() {
             vector.set(i);
-            payload.xor_assign(&self.natives[i]);
+            sources.push(&self.natives[i]);
         }
+        // Fold all chosen natives in one batched pass over the payload.
+        let (&first, rest) = sources.split_first().expect("degree >= 1");
+        let mut payload = first.clone();
+        payload.xor_assign_many(rest);
         self.packets_emitted += 1;
         EncodedPacket::new(vector, payload)
     }

@@ -120,9 +120,12 @@ impl TannerGraph {
     ///
     /// This is the propagation primitive of belief propagation; the number of
     /// returned entries is the number of payload XOR operations performed.
+    /// Each XOR has a distinct destination (the buffered packet's payload), so
+    /// the work is one word-sliced [`Payload::xor_assign`] per touched packet —
+    /// there is nothing to batch here, unlike the encode/recode folds.
     pub fn eliminate_native(&mut self, x: usize, value: &Payload) -> Vec<(PacketId, usize)> {
         let ids = std::mem::take(&mut self.native_edges[x]);
-        let mut touched = Vec::new();
+        let mut touched = Vec::with_capacity(ids.len());
         for id in ids {
             if let Some(p) = self.packets[id.0].as_mut() {
                 if p.vector.contains(x) {

@@ -419,15 +419,108 @@ fn check_dims(wire: &[u8]) -> Result<(usize, usize), NetError> {
     Ok((k, m))
 }
 
-/// Decodes a complete datagram. The buffer must contain exactly one frame:
-/// trailing bytes are an error (datagram transports preserve message
-/// boundaries, so extra bytes mean corruption).
+/// A decoded datagram body whose `DATA-PAYLOAD` packet still borrows the
+/// receive buffer (see [`decode_view`]). Every other variant is identical
+/// to [`Message`]: their bodies are small and owned either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageView<'buf> {
+    /// See [`Message::DataHeader`].
+    DataHeader {
+        /// Sender-unique transfer identifier.
+        transfer: u64,
+        /// Causal lineage of the offered packet.
+        trace: TraceContext,
+        /// Advertised payload size `m` of the packet on offer.
+        payload_size: usize,
+        /// The packet's code vector (length `k`).
+        vector: CodeVector,
+    },
+    /// See [`Message::DataPayload`]; the payload bytes stay in the buffer.
+    DataPayload {
+        /// Transfer identifier this payload answers.
+        transfer: u64,
+        /// Causal lineage of the delivered packet.
+        trace: TraceContext,
+        /// The packet, payload borrowed from the receive buffer.
+        packet: gf2_wire::PacketView<'buf>,
+    },
+    /// See [`Message::Feedback`].
+    Feedback {
+        /// Transfer identifier the verdict concerns.
+        transfer: u64,
+        /// `true` for `FEEDBACK-ACCEPT`, `false` for `FEEDBACK-ABORT`.
+        accept: bool,
+    },
+    /// See [`Message::Complete`].
+    Complete,
+    /// See [`Message::Request`].
+    Request,
+    /// See [`Message::Manifest`].
+    Manifest {
+        /// Exact object length in bytes (reassembly trims to this).
+        object_len: u64,
+        /// Code length `k` every generation uses.
+        code_length: u32,
+        /// Payload size `m` in bytes.
+        payload_size: u32,
+    },
+    /// See [`Message::Reject`].
+    Reject,
+}
+
+impl MessageView<'_> {
+    /// Materializes an owned [`Message`], copying the `DATA-PAYLOAD` bytes
+    /// out of the receive buffer (the single retain point).
+    #[must_use]
+    pub fn into_message(self) -> Message {
+        match self {
+            MessageView::DataHeader { transfer, trace, payload_size, vector } => {
+                Message::DataHeader { transfer, trace, payload_size, vector }
+            }
+            MessageView::DataPayload { transfer, trace, packet } => {
+                Message::DataPayload { transfer, trace, packet: packet.into_packet() }
+            }
+            MessageView::Feedback { transfer, accept } => Message::Feedback { transfer, accept },
+            MessageView::Complete => Message::Complete,
+            MessageView::Request => Message::Request,
+            MessageView::Manifest { object_len, code_length, payload_size } => {
+                Message::Manifest { object_len, code_length, payload_size }
+            }
+            MessageView::Reject => Message::Reject,
+        }
+    }
+}
+
+/// One datagram decoded borrow-first: header plus [`MessageView`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvelopeView<'buf> {
+    /// Scheme, session and generation addressing.
+    pub header: EnvelopeHeader,
+    /// The body, `DATA-PAYLOAD` bytes still borrowed.
+    pub message: MessageView<'buf>,
+}
+
+impl EnvelopeView<'_> {
+    /// Materializes an owned [`Envelope`] (copies `DATA-PAYLOAD` bytes).
+    #[must_use]
+    pub fn into_envelope(self) -> Envelope {
+        Envelope { header: self.header, message: self.message.into_message() }
+    }
+}
+
+/// Decodes a complete datagram without copying the payload: the returned
+/// view's `DATA-PAYLOAD` bytes borrow `bytes`. Receive paths use this to
+/// defer the payload copy to the single point a packet is retained — a
+/// datagram dropped as redundant, complete or mismatched never copies its
+/// `m` payload bytes. The buffer must contain exactly one frame: trailing
+/// bytes are an error (datagram transports preserve message boundaries, so
+/// extra bytes mean corruption).
 ///
 /// # Errors
 ///
 /// Every malformed input maps to a [`NetError`]; this function never
 /// panics on arbitrary bytes.
-pub fn decode(bytes: &[u8]) -> Result<Envelope, NetError> {
+pub fn decode_view(bytes: &[u8]) -> Result<EnvelopeView<'_>, NetError> {
     let header = decode_header(bytes)?;
     // frame_len re-reads only the 8 dimension bytes (already cap-checked
     // there), so the envelope header is parsed exactly once per datagram.
@@ -440,9 +533,9 @@ pub fn decode(bytes: &[u8]) -> Result<Envelope, NetError> {
     }
     let body = &bytes[ENVELOPE_HEADER_BYTES..];
     let message = match header.kind {
-        MessageKind::Complete => Message::Complete,
-        MessageKind::Request => Message::Request,
-        MessageKind::Reject => Message::Reject,
+        MessageKind::Complete => MessageView::Complete,
+        MessageKind::Request => MessageView::Request,
+        MessageKind::Reject => MessageView::Reject,
         MessageKind::Manifest => {
             let object_len = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
             let code_length = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
@@ -455,11 +548,11 @@ pub fn decode(bytes: &[u8]) -> Result<Envelope, NetError> {
                     payload_size: payload_size as usize,
                 });
             }
-            Message::Manifest { object_len, code_length, payload_size }
+            MessageView::Manifest { object_len, code_length, payload_size }
         }
         MessageKind::FeedbackAbort | MessageKind::FeedbackAccept => {
             let transfer = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
-            Message::Feedback { transfer, accept: header.kind == MessageKind::FeedbackAccept }
+            MessageView::Feedback { transfer, accept: header.kind == MessageKind::FeedbackAccept }
         }
         MessageKind::DataHeader => {
             let transfer = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
@@ -467,16 +560,27 @@ pub fn decode(bytes: &[u8]) -> Result<Envelope, NetError> {
             let wire = &body[TRANSFER_ID_BYTES + TRACE_CONTEXT_BYTES..];
             let (k, m, vector) = gf2_wire::decode_header(wire)?;
             debug_assert_eq!(vector.len(), k);
-            Message::DataHeader { transfer, trace, payload_size: m, vector }
+            MessageView::DataHeader { transfer, trace, payload_size: m, vector }
         }
         MessageKind::DataPayload => {
             let transfer = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
             let trace = decode_trace(&body[TRANSFER_ID_BYTES..]);
-            let packet = gf2_wire::decode(&body[TRANSFER_ID_BYTES + TRACE_CONTEXT_BYTES..])?;
-            Message::DataPayload { transfer, trace, packet }
+            let packet = gf2_wire::decode_view(&body[TRANSFER_ID_BYTES + TRACE_CONTEXT_BYTES..])?;
+            MessageView::DataPayload { transfer, trace, packet }
         }
     };
-    Ok(Envelope { header, message })
+    Ok(EnvelopeView { header, message })
+}
+
+/// Decodes a complete datagram into an owned [`Envelope`]. Same contract as
+/// [`decode_view`], plus one payload copy for `DATA-PAYLOAD` frames.
+///
+/// # Errors
+///
+/// Every malformed input maps to a [`NetError`]; this function never
+/// panics on arbitrary bytes.
+pub fn decode(bytes: &[u8]) -> Result<Envelope, NetError> {
+    decode_view(bytes).map(EnvelopeView::into_envelope)
 }
 
 #[cfg(test)]
@@ -561,6 +665,27 @@ mod tests {
             }
             other => panic!("wrong message {other:?}"),
         }
+    }
+
+    #[test]
+    fn decode_view_borrows_the_payload_and_materializes_equal() {
+        let packet = sample_packet();
+        let msg =
+            Message::DataPayload { transfer: 5, trace: sample_trace(), packet: packet.clone() };
+        let bytes = encode(&header(MessageKind::DataPayload), &msg);
+        let view = decode_view(&bytes).unwrap();
+        match &view.message {
+            MessageView::DataPayload { packet: p, .. } => {
+                // The view's payload points into the frame buffer itself.
+                let payload_start = bytes.len() - packet.payload_size();
+                assert!(std::ptr::eq(p.payload_bytes().as_ptr(), bytes[payload_start..].as_ptr()));
+            }
+            other => panic!("wrong message {other:?}"),
+        }
+        assert_eq!(view.into_envelope(), decode(&bytes).unwrap());
+        // Non-payload kinds materialize identically too.
+        let bytes = encode(&header(MessageKind::Complete), &Message::Complete);
+        assert_eq!(decode_view(&bytes).unwrap().into_envelope(), decode(&bytes).unwrap());
     }
 
     #[test]

@@ -79,7 +79,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::envelope::{
-    self, Envelope, EnvelopeHeader, Message, MessageKind, TraceContext, GENERATION_OBJECT,
+    self, EnvelopeHeader, EnvelopeView, Message, MessageKind, MessageView, TraceContext,
+    GENERATION_OBJECT,
 };
 use crate::faults::{DatagramFaultCounters, DatagramFaultPlan, DatagramFaults, FaultySocket};
 use crate::generation::{ObjectManifest, ReceiverSession, SourceSession};
@@ -852,7 +853,11 @@ impl Actor {
     }
 
     fn handle_datagram(&mut self, bytes: &[u8], from: SocketAddr) {
-        let envelope = match envelope::decode(bytes) {
+        // Borrowing decode: the payload of a `DataPayload` stays a view
+        // into the datagram buffer until the packet is actually retained
+        // below, so frames we drop (corrupt, stale session, no receiver)
+        // never copy payload bytes.
+        let envelope = match envelope::decode_view(bytes) {
             Ok(envelope) => envelope,
             Err(_) => {
                 self.wire.decode_errors += 1;
@@ -867,9 +872,9 @@ impl Actor {
         }
         self.wire.datagrams_received += 1;
         self.wire.bytes_received += bytes.len() as u64;
-        let Envelope { header, message } = envelope;
+        let EnvelopeView { header, message } = envelope;
         match message {
-            Message::DataHeader { transfer, payload_size, vector, .. } => {
+            MessageView::DataHeader { transfer, payload_size, vector, .. } => {
                 let generation = header.generation;
                 let accept = payload_size == self.params.payload_size
                     && self.receiver.as_ref().is_some_and(|r| r.would_accept(generation, &vector));
@@ -909,7 +914,7 @@ impl Actor {
                     }
                 }
             }
-            Message::Feedback { transfer, accept } => {
+            MessageView::Feedback { transfer, accept } => {
                 // Only the peer the offer went to may decide its fate; a
                 // verdict from anyone else (bug or hostility) must not
                 // consume the pending transfer.
@@ -941,7 +946,7 @@ impl Actor {
                     self.wire.transfers_aborted += 1;
                 }
             }
-            Message::DataPayload { trace, packet, .. } => {
+            MessageView::DataPayload { trace, packet, .. } => {
                 let generation = header.generation;
                 // The wire-carried trace is the arriving data's whole
                 // history: record the true origin→delivery latency at
@@ -955,7 +960,9 @@ impl Actor {
                 let (useful, newly_complete, object_complete) = {
                     let Some(receiver) = self.receiver.as_mut() else { return };
                     let was_complete = receiver.generation_complete(generation);
-                    let useful = receiver.deliver(generation, &packet);
+                    // The single retain point: only here does the borrowed
+                    // payload get copied out of the datagram buffer.
+                    let useful = receiver.deliver(generation, &packet.into_packet());
                     self.shared
                         .complete_generations
                         .store(receiver.complete_generations(), Ordering::Release);
@@ -979,7 +986,7 @@ impl Actor {
                     self.announce_complete(GENERATION_OBJECT);
                 }
             }
-            Message::Complete => {
+            MessageView::Complete => {
                 if header.generation == GENERATION_OBJECT {
                     self.object_done.insert(from);
                 } else {
@@ -988,7 +995,7 @@ impl Actor {
             }
             // The serving handshake (ltnc-serve) rides the same envelope but
             // has no meaning in the gossip protocol.
-            Message::Request | Message::Manifest { .. } | Message::Reject => {}
+            MessageView::Request | MessageView::Manifest { .. } | MessageView::Reject => {}
         }
     }
 

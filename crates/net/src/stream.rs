@@ -14,7 +14,7 @@
 //! unrecoverable once the stream is corrupt), advertised dimensions are
 //! capped by the codec before any allocation happens, and nothing panics.
 
-use crate::envelope::{self, Envelope};
+use crate::envelope::{self, Envelope, EnvelopeView};
 use crate::NetError;
 
 /// Largest complete frame the reassembler will buffer.
@@ -96,6 +96,18 @@ impl FrameReassembler {
     /// [`NetError::FrameTooLarge`] when a frame would exceed
     /// [`MAX_FRAME_BYTES`].
     pub fn next_frame(&mut self) -> Result<Option<Envelope>, NetError> {
+        Ok(self.next_frame_view()?.map(EnvelopeView::into_envelope))
+    }
+
+    /// Borrowing variant of [`FrameReassembler::next_frame`]: the payload of
+    /// a data frame stays a view into the reassembly buffer, so callers that
+    /// filter or drop frames never copy payload bytes. Consume the view (or
+    /// call [`EnvelopeView::into_envelope`]) before buffering more bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FrameReassembler::next_frame`].
+    pub fn next_frame_view(&mut self) -> Result<Option<EnvelopeView<'_>>, NetError> {
         let pending = &self.buf[self.start..];
         let total = match envelope::required_len(pending) {
             Ok(total) => total,
@@ -115,7 +127,7 @@ impl FrameReassembler {
         }
         // Exact slice: a datagram decoder would reject trailing bytes, and
         // on a stream the "trailing" bytes are simply the next frame.
-        let envelope = envelope::decode(&pending[..total])?;
+        let envelope = envelope::decode_view(&self.buf[self.start..self.start + total])?;
         self.start += total;
         Ok(Some(envelope))
     }
@@ -202,6 +214,27 @@ mod tests {
             }
         }
         assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn next_frame_view_borrows_payloads_from_the_buffer() {
+        let frames = sample_frames();
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        let mut reassembler = FrameReassembler::new();
+        reassembler.extend(&stream);
+        let mut payload_frames = 0;
+        for frame in &frames {
+            let view = reassembler.next_frame_view().expect("valid").expect("complete");
+            if let crate::envelope::MessageView::DataPayload { packet, .. } = &view.message {
+                // The payload is a window into the reassembly buffer, not a copy.
+                let bytes = packet.payload_bytes();
+                assert_eq!(bytes, &frame[frame.len() - bytes.len()..]);
+                payload_frames += 1;
+            }
+            assert_eq!(envelope::encode_envelope(&view.into_envelope()), *frame);
+        }
+        assert_eq!(payload_frames, 1);
+        assert_eq!(reassembler.next_frame_view().unwrap().map(|_| ()), None);
     }
 
     #[test]

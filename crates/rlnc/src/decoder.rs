@@ -113,24 +113,21 @@ impl GaussianDecoder {
             });
         }
         self.received += 1;
-        // Innovation check by reduction against the echelon form. The row ops
-        // spent reducing are charged whether or not the packet is kept —
-        // that is exactly the cost of the partial Gaussian reduction.
+        // Single reduction against the echelon form: the innovation check IS
+        // the insertion. The row ops spent reducing are charged whether or not
+        // the packet is kept — that is exactly the cost of the partial
+        // Gaussian reduction.
         let ops_before = self.solver.row_ops();
-        if !self.solver.is_innovative(packet.vector()) {
-            // `is_innovative` does not mutate the solver, so the reduction work
-            // it performed is not visible in `row_ops`; charge it explicitly:
-            // reducing a vector touches at most `rank` pivots.
-            self.counters.add(OpKind::RowReduction, self.solver.rank() as u64);
+        let stored = self.solver.insert_if_innovative(packet.vector());
+        self.counters.add(OpKind::RowReduction, self.solver.row_ops() - ops_before);
+        let Some(id) = stored else {
             self.redundant += 1;
             return Ok(false);
-        }
-        let (_, innovative) = self.solver.insert(packet.vector().clone());
-        debug_assert!(innovative, "insert after successful innovation check");
-        self.counters.add(OpKind::RowReduction, self.solver.row_ops() - ops_before);
+        };
+        debug_assert_eq!(id, self.payloads.len(), "solver ids align with payload buffer");
         self.payloads.push(packet.payload().clone());
         self.decoded = None;
-        Ok(innovative)
+        Ok(true)
     }
 
     /// Recovers every native payload by back-substitution.

@@ -86,8 +86,12 @@ impl RlncNode {
 
     /// Receives a packet, updating the code matrix and the recoding buffer.
     ///
-    /// Returns [`ReceiveOutcome::Redundant`] for non-innovative packets, which
-    /// are dropped (they would only waste memory and CPU).
+    /// The innovation check and the row insertion share a single Gaussian
+    /// reduction pass ([`Gf2Solver::insert_if_innovative`]); returns
+    /// [`ReceiveOutcome::Redundant`] for non-innovative packets, which are
+    /// dropped (they would only waste memory and CPU).
+    ///
+    /// [`Gf2Solver::insert_if_innovative`]: ltnc_gf2::Gf2Solver::insert_if_innovative
     ///
     /// # Panics
     ///

@@ -119,23 +119,27 @@ impl SparseRecoder {
         let candidates = self.sparsity.min(self.buffer.len());
         for _ in 0..MAX_RETRIES {
             let chosen = sample_indices(rng, self.buffer.len(), candidates);
-            let mut packet = EncodedPacket::new(
-                ltnc_gf2::CodeVector::zero(self.k),
-                Payload::zero(self.payload_size),
-            );
-            let mut combined = 0usize;
-            for i in chosen.iter() {
-                // Random GF(2) coefficient.
-                if rng.gen_bool(0.5) {
-                    packet.xor_assign(&self.buffer[i]);
-                    self.counters.incr(OpKind::PayloadXor);
-                    self.counters.incr(OpKind::VectorXor);
-                    combined += 1;
-                }
+            // Draw the random GF(2) coefficients first (same RNG order as the
+            // one-at-a-time loop), then fold the selected packets batched.
+            let selected: Vec<usize> = chosen.iter().filter(|_| rng.gen_bool(0.5)).collect();
+            let Some((&first, rest)) = selected.split_first() else {
+                continue;
+            };
+            let mut vector = self.buffer[first].vector().clone();
+            for &i in rest {
+                vector.xor_assign(self.buffer[i].vector());
             }
-            if combined > 0 && !packet.is_zero() {
-                return Ok(packet);
+            self.counters.add(OpKind::VectorXor, selected.len() as u64);
+            if vector.is_zero() {
+                continue;
             }
+            // One pass over the payload for the whole combination instead of
+            // one full walk per selected packet.
+            let mut payload = self.buffer[first].payload().clone();
+            let sources: Vec<&Payload> = rest.iter().map(|&i| self.buffer[i].payload()).collect();
+            payload.xor_assign_many(&sources);
+            self.counters.add(OpKind::PayloadXor, selected.len() as u64);
+            return Ok(EncodedPacket::new(vector, payload));
         }
         // Fallback: forward one buffered packet chosen at random.
         let i = rng.gen_range(0..self.buffer.len());

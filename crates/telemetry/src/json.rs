@@ -25,7 +25,9 @@ use core::fmt;
 /// `BENCH_<scenario>.json`. Consumers (the CI regression compare, any
 /// dashboard ingesting the artifacts) should check it before reading
 /// other members; bump it on any breaking change to the member layout.
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+/// Version history: 1 — initial layout; 2 — the `gf2_kernel` scenario
+/// joined the bench-report set (baselines regenerated).
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// One JSON value; build with the constructors, render with
 /// [`JsonValue::render`] (or `Display`).
