@@ -22,7 +22,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ltnc_net::faults::{DatagramFaultPlan, DatagramFaults};
-use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig};
+use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig, SwarmRuntime};
 use ltnc_net::NodeOptions;
 use ltnc_scheme::SchemeKind;
 use rand::rngs::SmallRng;
@@ -63,6 +63,7 @@ fn config(adaptive: bool, loss: f64) -> SwarmConfig {
         session: 0x9ACE,
         faults: lossy(loss),
         trace_capacity: None,
+        runtime: SwarmRuntime::Threaded,
     }
 }
 

@@ -25,7 +25,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ltnc_net::faults::DatagramFaultPlan;
 use ltnc_net::NodeOptions;
 use ltnc_scheme::SchemeKind;
-use ltnc_topo::{run_topology, Topology, TopologyConfig, TopologyFaults};
+use ltnc_topo::{run_topology, SwarmRuntime, Topology, TopologyConfig, TopologyFaults};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,6 +58,7 @@ fn config(scheme: SchemeKind, hops: usize, loss: f64) -> TopologyConfig {
         link_faults: TopologyFaults::uniform(DatagramFaultPlan::clean(FAULT_SEED).drop_rate(loss)),
         node_faults: None,
         trace_capacity: None,
+        runtime: SwarmRuntime::Threaded,
     }
 }
 

@@ -17,6 +17,7 @@
 //! | `striped_fetch` | one object striped across 3 warm TCP replicas |
 //! | `warm_cache`    | warm-ring symbol serving (store hit path, no sockets) |
 //! | `gf2_kernel`    | raw coding kernel: bulk payload XOR + relay recode, no sockets |
+//! | `sharded_1k`    | 1000-node k-regular overlay on the sharded reactor runtime, plus a 64-node threaded reference for the per-node goodput ratio |
 //!
 //! Flags: `--smoke` (CI-sized runs), `--out <dir>` (where the JSON
 //! lands, default `.`), `--only <scenario>` (repeatable filter),
@@ -39,7 +40,7 @@ use std::time::{Duration, Instant};
 use ltnc_gf2::{EncodedPacket, Payload};
 use ltnc_metrics::LogHistogramSnapshot;
 use ltnc_net::faults::{DatagramFaultPlan, DatagramFaults};
-use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig};
+use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig, SwarmRuntime};
 use ltnc_net::NodeOptions;
 use ltnc_scheme::{SchemeKind, SchemeParams};
 use ltnc_serve::{
@@ -47,11 +48,12 @@ use ltnc_serve::{
 };
 use ltnc_telemetry::json::{JsonValue, REPORT_SCHEMA_VERSION};
 use ltnc_topo::{run_topology, Topology, TopologyConfig, TopologyFaults};
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Every scenario this binary knows, in report order.
-const SCENARIOS: [&str; 8] = [
+const SCENARIOS: [&str; 9] = [
     "pacing_loss10",
     "pacing_loss20",
     "pacing_loss30",
@@ -60,6 +62,7 @@ const SCENARIOS: [&str; 8] = [
     "striped_fetch",
     "warm_cache",
     "gf2_kernel",
+    "sharded_1k",
 ];
 
 /// One scenario's measured outcome, ready to serialize.
@@ -74,6 +77,11 @@ struct Outcome {
     latency_unit: &'static str,
     /// Per-lineage-depth latency, for the multi-hop scenarios.
     by_hop: Vec<(usize, LogHistogramSnapshot)>,
+    /// Scenario-specific numeric fields appended verbatim to the JSON
+    /// (e.g. the per-node goodput figures of `sharded_1k`). The schema
+    /// stays v2: baselines only ever parse `schema_version` and
+    /// `goodput_bytes_per_sec`, so extra fields are additive.
+    extras: Vec<(&'static str, f64)>,
 }
 
 impl Outcome {
@@ -124,6 +132,7 @@ fn pacing(loss: f64, smoke: bool, seed: u64) -> Result<Outcome, String> {
             DatagramFaultPlan::clean(0xF00D ^ seed).drop_rate(loss).reorder(0.05, 8),
         )),
         trace_capacity: None,
+        runtime: SwarmRuntime::Threaded,
     };
     let report = run_localhost_swarm(&config).map_err(|e| format!("swarm failed to start: {e}"))?;
     if !report.converged || !report.bit_exact {
@@ -142,6 +151,7 @@ fn pacing(loss: f64, smoke: bool, seed: u64) -> Result<Outcome, String> {
         latency,
         latency_unit: "us",
         by_hop: Vec::new(),
+        extras: Vec::new(),
     })
 }
 
@@ -163,6 +173,7 @@ fn line(hops: usize, smoke: bool, seed: u64) -> Result<Outcome, String> {
         ),
         node_faults: None,
         trace_capacity: None,
+        runtime: SwarmRuntime::Threaded,
     };
     let report = run_topology(&config).map_err(|e| format!("topology failed to start: {e}"))?;
     if !report.swarm.converged || !report.swarm.bit_exact {
@@ -177,6 +188,7 @@ fn line(hops: usize, smoke: bool, seed: u64) -> Result<Outcome, String> {
         latency: merge_hops(&report.latency_by_hop),
         latency_unit: "us",
         by_hop: report.latency_by_hop.clone(),
+        extras: Vec::new(),
     })
 }
 
@@ -246,6 +258,7 @@ fn striped(smoke: bool, seed: u64) -> Result<Outcome, String> {
         latency,
         latency_unit: "us",
         by_hop: Vec::new(),
+        extras: Vec::new(),
     })
 }
 
@@ -288,6 +301,7 @@ fn warm_cache(smoke: bool, seed: u64) -> Result<Outcome, String> {
         latency,
         latency_unit: "ns",
         by_hop: Vec::new(),
+        extras: Vec::new(),
     })
 }
 
@@ -338,6 +352,99 @@ fn gf2_kernel(smoke: bool, seed: u64) -> Result<Outcome, String> {
         latency: histogram.snapshot(),
         latency_unit: "ns",
         by_hop: Vec::new(),
+        extras: Vec::new(),
+    })
+}
+
+/// One seeded k-regular dissemination, parameterized by size and
+/// runtime — the body of the `sharded_1k` scenario and its threaded
+/// reference run.
+fn k_regular_run(
+    nodes: usize,
+    runtime: SwarmRuntime,
+    seed: u64,
+) -> Result<ltnc_topo::TopologyReport, String> {
+    let object_len = 512;
+    let mut config = TopologyConfig::quick(
+        SchemeKind::Ltnc,
+        pseudo_object(object_len, 0x1_0AD ^ seed),
+        Topology::random_regular(nodes, 4, 0x1000 ^ seed),
+    );
+    config.code_length = 8;
+    config.payload_size = 32;
+    // The same gentle tick on both sizes, so the per-node comparison
+    // measures the runtime, not the tick cadence: 1000 state machines
+    // at the 2ms default saturate a small machine on timer pressure
+    // alone, which would be a scheduling artifact, not goodput.
+    config.options = NodeOptions {
+        seed: 0x51AB ^ seed,
+        tick: Duration::from_millis(10),
+        ..NodeOptions::default()
+    };
+    config.session = 0x51_0000 + nodes as u64;
+    config.timeout = Duration::from_secs(180);
+    config.runtime = runtime;
+    let report =
+        run_topology(&config).map_err(|e| format!("{nodes}-node run failed to start: {e}"))?;
+    if !report.swarm.converged || !report.swarm.bit_exact {
+        return Err(format!(
+            "{nodes}-node run under {runtime:?} did not converge bit-exactly: {}/{} peers in {:?}",
+            report.swarm.peers_complete,
+            nodes - 1,
+            report.swarm.elapsed
+        ));
+    }
+    Ok(report)
+}
+
+/// The sharded-runtime scale scenario: 1000 nodes on the reactor, with
+/// a 64-node threaded run of the same shape and parameters as the
+/// per-node reference. Smoke and full are the same size — scale *is*
+/// the scenario, and the run is seconds even on one core. The reported
+/// goodput (and the regression gate) is the 1000-node run's; the
+/// per-node figures of both runs land in extra JSON fields, and the
+/// scenario fails outright when the sharded per-node goodput falls more
+/// than 2× below the threaded reference after CPU-share normalization.
+fn sharded_1k(_smoke: bool, seed: u64) -> Result<Outcome, String> {
+    let sharded = k_regular_run(1000, SwarmRuntime::Sharded { workers: 4 }, seed)?;
+    let threaded = k_regular_run(64, SwarmRuntime::Threaded, seed)?;
+
+    // Per-node goodput: object bytes per second per completing peer —
+    // the whole object reaches every peer, so this is object_len over
+    // convergence time. Raw per-node figures are not comparable across
+    // swarm sizes on one machine: 1000 nodes split the same cores that
+    // 64 nodes split, so each node's CPU slice — and with it the raw
+    // figure — shrinks ~16x by construction, for any runtime. The
+    // comparable quantity is per-node goodput normalized by that share
+    // (equivalently, whole-machine swarm goodput); the gate holds the
+    // normalized sharded figure within 2x of the threaded reference,
+    // and both raw figures land in the report for reading.
+    let per_node = |report: &ltnc_topo::TopologyReport| {
+        report.object_len as f64 / report.swarm.elapsed.as_secs_f64()
+    };
+    let per_node_sharded = per_node(&sharded);
+    let per_node_threaded = per_node(&threaded);
+    let cpu_share = 1000.0 / 64.0;
+    let normalized_sharded = per_node_sharded * cpu_share;
+    if normalized_sharded * 2.0 < per_node_threaded {
+        return Err(format!(
+            "per-node goodput collapsed at scale: {per_node_sharded:.1} B/s/node sharded@1000 \
+             ({normalized_sharded:.1} after the {cpu_share:.1}x CPU-share normalization) vs \
+             {per_node_threaded:.1} B/s/node threaded@64 (more than 2x below)"
+        ));
+    }
+
+    Ok(Outcome {
+        delivered_bytes: sharded.object_len * sharded.swarm.peers_complete as u64,
+        elapsed: sharded.swarm.elapsed,
+        latency: merge_hops(&sharded.latency_by_hop),
+        latency_unit: "us",
+        by_hop: sharded.latency_by_hop.clone(),
+        extras: vec![
+            ("per_node_goodput_sharded_1k", per_node_sharded),
+            ("per_node_goodput_threaded_64", per_node_threaded),
+            ("per_node_ratio_cpu_normalized", normalized_sharded / per_node_threaded),
+        ],
     })
 }
 
@@ -367,6 +474,7 @@ fn run_scenario(name: &str, smoke: bool, seed: u64) -> Result<Outcome, String> {
         "striped_fetch" => striped(smoke, seed),
         "warm_cache" => warm_cache(smoke, seed),
         "gf2_kernel" => best_of(3, || gf2_kernel(smoke, seed)),
+        "sharded_1k" => sharded_1k(smoke, seed),
         _ => Err(format!("unknown scenario {name:?}")),
     }
 }
@@ -389,7 +497,7 @@ fn outcome_json(name: &str, smoke: bool, seed: u64, outcome: &Outcome) -> JsonVa
         .iter()
         .map(|(hops, snapshot)| latency_json(snapshot, outcome.latency_unit).field("hops", *hops))
         .collect();
-    JsonValue::object()
+    let mut json = JsonValue::object()
         .field("schema_version", REPORT_SCHEMA_VERSION)
         .field("scenario", name)
         .field("smoke", smoke)
@@ -398,7 +506,11 @@ fn outcome_json(name: &str, smoke: bool, seed: u64, outcome: &Outcome) -> JsonVa
         .field("elapsed_micros", u64::try_from(outcome.elapsed.as_micros()).unwrap_or(u64::MAX))
         .field("goodput_bytes_per_sec", outcome.goodput())
         .field("latency", latency_json(&outcome.latency, outcome.latency_unit))
-        .field("latency_by_hop", JsonValue::array(by_hop))
+        .field("latency_by_hop", JsonValue::array(by_hop));
+    for &(field, value) in &outcome.extras {
+        json = json.field(field, value);
+    }
+    json
 }
 
 /// Reads a baseline `BENCH_<scenario>.json` back; `None` when the file

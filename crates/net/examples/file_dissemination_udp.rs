@@ -25,7 +25,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use ltnc_net::faults::{DatagramFaultPlan, DatagramFaults};
-use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig, SwarmReport};
+use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig, SwarmReport, SwarmRuntime};
 use ltnc_net::NodeOptions;
 use ltnc_scheme::SchemeKind;
 use rand::rngs::SmallRng;
@@ -223,6 +223,7 @@ fn main() -> ExitCode {
             session: 0xF00D_0000 + scheme.wire_id() as u64,
             faults,
             trace_capacity: None,
+            runtime: SwarmRuntime::Threaded,
         };
         match run_localhost_swarm(&config) {
             Ok(report) => {

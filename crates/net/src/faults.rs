@@ -37,6 +37,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -1008,42 +1009,7 @@ impl FaultySocket {
         }
         match self.socket.recv_from(buf) {
             Ok((len, peer)) => {
-                // Per-link plans shadow the default for their origin; the
-                // datagram crosses exactly one plan either way.
-                let (dir, link) = state.route(peer);
-                dir.age_held();
-                let plan = dir.plan;
-                let mut delta = DatagramFaultCounters::default();
-                let mut consumed = None;
-                if plan.delay_rate > 0.0 && dir.rng.gen_bool(plan.delay_rate) {
-                    delta.delayed_in += 1;
-                    thread::sleep(plan.delay);
-                }
-                if plan.drop_rate > 0.0 && dir.rng.gen_bool(plan.drop_rate) {
-                    delta.dropped_in += 1;
-                    consumed = Some("datagram dropped");
-                } else if plan.reorder_window > 0
-                    && plan.reorder_rate > 0.0
-                    && dir.rng.gen_bool(plan.reorder_rate)
-                {
-                    delta.reordered_in += 1;
-                    let remaining = dir.rng.gen_range(1..=plan.reorder_window);
-                    dir.held.push_back(HeldDatagram {
-                        bytes: buf[..len].to_vec(),
-                        peer,
-                        remaining,
-                    });
-                    consumed = Some("datagram held for reorder");
-                } else if plan.duplicate_rate > 0.0 && dir.rng.gen_bool(plan.duplicate_rate) {
-                    delta.duplicated_in += 1;
-                    dir.ready.push_back((buf[..len].to_vec(), peer));
-                }
-                if let Some(link) = link {
-                    link.merge(&delta);
-                }
-                self.totals.add(&delta);
-                self.emit_inbound_faults(&delta, peer);
-                match consumed {
+                match self.apply_inbound(&mut state, buf, len, peer) {
                     None => Ok((len, peer)),
                     // The arriving datagram was consumed (dropped, held):
                     // hand out anything already due instead, else signal
@@ -1073,6 +1039,164 @@ impl FaultySocket {
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Pushes one freshly received datagram through the inbound fault
+    /// plan its origin routes to. Returns `None` when the datagram
+    /// survives (it is still in `buf`; a duplicate copy may have been
+    /// queued as ready), or `Some(reason)` when the plan consumed it
+    /// (dropped, or held for reordering).
+    fn apply_inbound(
+        &self,
+        state: &mut InboundState,
+        buf: &[u8],
+        len: usize,
+        peer: SocketAddr,
+    ) -> Option<&'static str> {
+        // Per-link plans shadow the default for their origin; the
+        // datagram crosses exactly one plan either way.
+        let (dir, link) = state.route(peer);
+        dir.age_held();
+        let plan = dir.plan;
+        let mut delta = DatagramFaultCounters::default();
+        let mut consumed = None;
+        if plan.delay_rate > 0.0 && dir.rng.gen_bool(plan.delay_rate) {
+            delta.delayed_in += 1;
+            thread::sleep(plan.delay);
+        }
+        if plan.drop_rate > 0.0 && dir.rng.gen_bool(plan.drop_rate) {
+            delta.dropped_in += 1;
+            consumed = Some("datagram dropped");
+        } else if plan.reorder_window > 0
+            && plan.reorder_rate > 0.0
+            && dir.rng.gen_bool(plan.reorder_rate)
+        {
+            delta.reordered_in += 1;
+            let remaining = dir.rng.gen_range(1..=plan.reorder_window);
+            dir.held.push_back(HeldDatagram { bytes: buf[..len].to_vec(), peer, remaining });
+            consumed = Some("datagram held for reorder");
+        } else if plan.duplicate_rate > 0.0 && dir.rng.gen_bool(plan.duplicate_rate) {
+            delta.duplicated_in += 1;
+            dir.ready.push_back((buf[..len].to_vec(), peer));
+        }
+        if let Some(link) = link {
+            link.merge(&delta);
+        }
+        self.totals.add(&delta);
+        self.emit_inbound_faults(&delta, peer);
+        consumed
+    }
+
+    /// Receives one datagram without ever blocking or surfacing a
+    /// synthetic error — the edge-triggered drain-loop twin of
+    /// [`FaultySocket::recv_from`]. Requires the socket to be in
+    /// nonblocking mode (see [`FaultySocket::set_nonblocking`]).
+    ///
+    /// Returns `Ok(Some(..))` for a delivered datagram, `Ok(None)` when
+    /// the OS buffer is empty. When the fault plan consumes a datagram
+    /// (drop, reorder-hold) the loop keeps pulling, so a consumed
+    /// datagram can never mask ones still queued behind it — the hazard
+    /// the blocking API's synthetic `WouldBlock` poses to edge-triggered
+    /// callers, who would stop draining and strand OS-buffered traffic
+    /// until the next (never-coming) edge.
+    ///
+    /// Deliberately *not* part of this call: releasing reorder-held
+    /// datagrams. Blocking readers learn the link went idle from a read
+    /// timeout; a nonblocking reader has no timeout, so it must detect
+    /// idleness itself ([`FaultySocket::has_held_datagrams`]) and release
+    /// via [`FaultySocket::release_held`] on a timer.
+    ///
+    /// Delay faults still `thread::sleep` the caller — on a sharded
+    /// runtime that stalls a whole worker and every node on it. Prefer
+    /// drop/reorder/duplicate plans in sharded stress runs.
+    ///
+    /// # Errors
+    ///
+    /// Real socket errors only; `WouldBlock`/`TimedOut` become
+    /// `Ok(None)` and fault consumption is handled internally.
+    pub fn try_recv_from(&self, buf: &mut [u8]) -> io::Result<Option<(usize, SocketAddr)>> {
+        let mut state = self.recv.lock().expect("recv fault state poisoned");
+        loop {
+            if let Some((bytes, peer)) = state.pop_ready() {
+                return Ok(Some(deliver(&bytes, peer, buf)));
+            }
+            match self.socket.recv_from(buf) {
+                Ok((len, peer)) => {
+                    if state.is_clean() || self.apply_inbound(&mut state, buf, len, peer).is_none()
+                    {
+                        return Ok(Some((len, peer)));
+                    }
+                    // Consumed by the plan: loop — something due may have
+                    // aged onto a ready queue, and more datagrams may sit
+                    // in the OS buffer behind the one just eaten.
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Whether any datagram is parked inside the fault state — inbound
+    /// or outbound, held for reordering or already due. Nonblocking
+    /// callers poll this after a drain to decide whether to arm an
+    /// idle-release timer for [`FaultySocket::release_held`].
+    #[must_use]
+    pub fn has_held_datagrams(&self) -> bool {
+        let inbound = {
+            let state = self.recv.lock().expect("recv fault state poisoned");
+            let dirs =
+                std::iter::once(&state.default).chain(state.links.values().map(|link| &link.dir));
+            dirs.into_iter().any(|dir| !dir.held.is_empty() || !dir.ready.is_empty())
+        };
+        if inbound {
+            return true;
+        }
+        let state = self.send.lock().expect("send fault state poisoned");
+        !state.held.is_empty() || !state.ready.is_empty()
+    }
+
+    /// Declares the link idle: transmits every held outbound datagram
+    /// and moves every held inbound one onto its ready queue, where the
+    /// next [`FaultySocket::try_recv_from`] (or `recv_from`) delivers
+    /// it. The timer-driven equivalent of the read-timeout release in
+    /// [`FaultySocket::recv_from`] — reordering delays datagrams, it
+    /// never strands them, on either runtime.
+    pub fn release_held(&self) {
+        self.flush_held_send();
+        let mut state = self.recv.lock().expect("recv fault state poisoned");
+        let InboundState { default, links } = &mut *state;
+        let dirs = std::iter::once(default).chain(links.values_mut().map(|link| &mut link.dir));
+        for dir in dirs {
+            while let Some(held) = dir.held.pop_front() {
+                dir.ready.push_back((held.bytes, held.peer));
+            }
+        }
+    }
+
+    /// Moves the wrapped socket in or out of nonblocking mode.
+    ///
+    /// The flag lives on the OS file description, which clones share:
+    /// flipping it on any handle flips it for all of them. A socket
+    /// driven by a poll loop should be switched once, up front, and
+    /// never mixed with blocking readers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `UdpSocket::set_nonblocking` failures.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        self.socket.set_nonblocking(nonblocking)
+    }
+
+    /// The wrapped socket's raw descriptor, for readiness registration.
+    /// The descriptor stays owned by this socket — do not close it.
+    #[must_use]
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.socket.as_raw_fd()
     }
 
     /// One [`TraceEvent::FaultInjected`] per fault a datagram from `peer`
@@ -1535,5 +1659,119 @@ mod tests {
         let mut buf = [0u8; 16];
         assert!(clone.recv_from(&mut buf).is_err(), "clone drops too");
         assert_eq!(socket.fault_counters().dropped_in, 1, "counters are shared");
+    }
+
+    // ---- nonblocking / edge-triggered API ----
+
+    /// Drains `socket.try_recv_from` until it reports an empty buffer,
+    /// returning the delivered sequence numbers in order.
+    fn drain_nonblocking(socket: &FaultySocket) -> Vec<u8> {
+        let mut seen = Vec::new();
+        let mut buf = [0u8; 16];
+        while let Some((len, _)) = socket.try_recv_from(&mut buf).expect("try_recv") {
+            assert_eq!(len, 1, "unexpected datagram length");
+            seen.push(buf[0]);
+        }
+        seen
+    }
+
+    fn send_numbered(sender: &UdpSocket, to: SocketAddr, n: u8) {
+        for i in 0..n {
+            sender.send_to(&[i], to).expect("send");
+            thread::sleep(Duration::from_micros(300));
+        }
+        // Give loopback delivery a beat so one drain sees everything.
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    #[test]
+    fn try_recv_skips_past_consumed_datagrams_in_one_drain() {
+        // Regression for the edge-triggered hazard: the blocking API
+        // surfaces a *synthetic* WouldBlock when the plan eats a
+        // datagram. An ET caller treating that as "buffer empty" would
+        // stop draining and strand everything queued behind the drop
+        // until the next readiness edge — which never comes. The
+        // nonblocking API must keep pulling instead.
+        let faults = DatagramFaults::inbound(DatagramFaultPlan::clean(21).drop_rate(0.4));
+        let (socket, sender, to) = socket_pair(faults);
+        socket.set_nonblocking(true).expect("nonblocking");
+        send_numbered(&sender, to, 30);
+        let seen = drain_nonblocking(&socket);
+        let dropped = socket.fault_counters().dropped_in as usize;
+        assert!(dropped > 0, "rate 0.4 over 30 datagrams must drop some");
+        assert_eq!(seen.len(), 30 - dropped, "one drain must deliver every survivor");
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "survivors stay in order");
+    }
+
+    #[test]
+    fn idle_release_under_edge_triggered_polling() {
+        // Reorder-held datagrams have no read-timeout path to escape on
+        // a nonblocking socket: the caller must see them via
+        // has_held_datagrams() and free them with release_held().
+        let (socket, sender, to) = socket_pair(DatagramFaults::clean(22));
+        socket.set_link_plan(
+            sender.local_addr().expect("addr"),
+            DatagramFaultPlan::clean(23).reorder(1.0, 8),
+        );
+        socket.set_nonblocking(true).expect("nonblocking");
+        assert!(!socket.has_held_datagrams(), "nothing held before traffic");
+
+        send_numbered(&sender, to, 4);
+        let seen = drain_nonblocking(&socket);
+        assert!(seen.is_empty(), "an always-hold window of 8 parks all 4 datagrams");
+        assert!(socket.has_held_datagrams(), "the drain must leave the holds visible");
+
+        socket.release_held();
+        let mut released = drain_nonblocking(&socket);
+        released.sort_unstable();
+        assert_eq!(released, (0..4).collect::<Vec<u8>>(), "release frees every held datagram");
+        assert!(!socket.has_held_datagrams());
+    }
+
+    #[test]
+    fn release_held_flushes_outbound_holds_too() {
+        // Symmetric always-hold plan; only the outbound side sees
+        // traffic in this test.
+        let outbound = DatagramFaults::symmetric(DatagramFaultPlan::clean(24).reorder(1.0, 8));
+        let inner = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        let socket = FaultySocket::new(inner, outbound).expect("wrap");
+        let receiver = UdpSocket::bind("127.0.0.1:0").expect("bind receiver");
+        receiver.set_read_timeout(Some(Duration::from_millis(200))).expect("timeout");
+
+        let to = receiver.local_addr().expect("addr");
+        socket.send_to(b"held", to).expect("send");
+        assert!(socket.has_held_datagrams(), "the datagram must be parked outbound");
+        socket.release_held();
+        assert!(!socket.has_held_datagrams());
+        let mut buf = [0u8; 16];
+        let (len, _) = receiver.recv_from(&mut buf).expect("released datagram arrives");
+        assert_eq!(&buf[..len], b"held");
+    }
+
+    #[test]
+    fn nonblocking_flag_is_shared_across_clones() {
+        // The O_NONBLOCK flag lives on the shared file description:
+        // flipping it via one handle must flip the clone too, which is
+        // why a poll-driven socket must never be mixed with blocking
+        // readers.
+        let (socket, _sender, _to) = socket_pair(DatagramFaults::clean(25));
+        let clone = socket.try_clone().expect("clone");
+        socket.set_nonblocking(true).expect("nonblocking");
+        let mut buf = [0u8; 16];
+        let start = std::time::Instant::now();
+        assert!(clone.try_recv_from(&mut buf).expect("try_recv").is_none());
+        assert!(
+            start.elapsed() < Duration::from_millis(30),
+            "the clone must return instantly, not wait out the read timeout"
+        );
+    }
+
+    #[test]
+    fn try_recv_matches_blocking_delivery_for_a_clean_plan() {
+        let (socket, sender, to) = socket_pair(DatagramFaults::clean(26));
+        socket.set_nonblocking(true).expect("nonblocking");
+        send_numbered(&sender, to, 12);
+        assert_eq!(drain_nonblocking(&socket), (0..12).collect::<Vec<u8>>());
+        assert_eq!(socket.fault_counters(), DatagramFaultCounters::default());
     }
 }

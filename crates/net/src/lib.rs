@@ -64,6 +64,7 @@ pub mod envelope;
 mod error;
 pub mod faults;
 pub mod peer;
+mod sharded;
 pub mod stream;
 pub mod swarm;
 
@@ -81,4 +82,6 @@ pub use faults::{
 pub use ltnc_session::{split_object, ObjectManifest, ReceiverSession, SourceSession};
 pub use peer::{NodeConfig, NodeOptions, NodeRole, PeerNode, PeerReport};
 pub use stream::FrameReassembler;
-pub use swarm::{run_localhost_swarm, run_wired_swarm, SwarmConfig, SwarmReport, SwarmWiring};
+pub use swarm::{
+    run_localhost_swarm, run_wired_swarm, SwarmConfig, SwarmReport, SwarmRuntime, SwarmWiring,
+};

@@ -280,23 +280,26 @@ enum Control {
     Shutdown,
 }
 
-struct Shared {
-    complete: AtomicBool,
-    complete_generations: AtomicUsize,
-    inbound_dropped: AtomicU64,
-    stop: AtomicBool,
-    /// Live mirror of the actor's [`WireCounters`], refreshed once per
-    /// gossip tick — only when a metrics endpoint is attached
+/// State a node publishes for observers outside its own dispatch
+/// context — the `PeerNode` handle and scrape endpoint on the threaded
+/// runtime, the swarm driver's completion poll on the sharded one.
+pub(crate) struct Shared {
+    pub(crate) complete: AtomicBool,
+    pub(crate) complete_generations: AtomicUsize,
+    pub(crate) inbound_dropped: AtomicU64,
+    pub(crate) stop: AtomicBool,
+    /// Live mirror of the state machine's [`WireCounters`], refreshed
+    /// once per gossip tick — only when a metrics endpoint is attached
     /// ([`NodeOptions::metrics_bind`]); never touched otherwise.
-    wire: Mutex<WireCounters>,
+    pub(crate) wire: Mutex<WireCounters>,
     /// Origin→delivery latency histograms keyed by hop depth, recorded
-    /// lock-free by the actor on every payload arrival and read live by
-    /// the scrape endpoint mid-run.
-    latency: HopLatency,
+    /// lock-free by the state machine on every payload arrival and read
+    /// live by the scrape endpoint mid-run.
+    pub(crate) latency: HopLatency,
 }
 
 impl Shared {
-    fn new() -> Shared {
+    pub(crate) fn new() -> Shared {
         Shared {
             complete: AtomicBool::new(false),
             complete_generations: AtomicUsize::new(0),
@@ -308,7 +311,7 @@ impl Shared {
     }
 
     /// The published wire counters plus the socket thread's drop count.
-    fn wire_snapshot(&self) -> WireCounters {
+    pub(crate) fn wire_snapshot(&self) -> WireCounters {
         let mut wire = self.wire.lock().map(|wire| *wire).unwrap_or_default();
         wire.inbound_dropped += self.inbound_dropped.load(Ordering::Acquire);
         wire
@@ -364,13 +367,7 @@ impl PeerNode {
         // A source is complete by definition; publish that before the
         // actor thread even starts so the handle never reports a stale
         // "incomplete" for it.
-        if let NodeRole::Source { object, params } = &config.role {
-            let manifest = ObjectManifest { object_len: object.len() as u64, params: *params };
-            shared.complete.store(true, Ordering::Release);
-            shared
-                .complete_generations
-                .store(manifest.generation_count() as usize, Ordering::Release);
-        }
+        publish_source_complete(&config.role, &shared);
 
         let (event_tx, event_rx) = mpsc::sync_channel(config.options.queue_capacity.max(1));
         let (control_tx, control_rx) = mpsc::channel();
@@ -381,34 +378,14 @@ impl PeerNode {
             thread::spawn(move || socket_loop(&socket, &event_tx, &shared))
         };
 
-        // The scrape endpoint reads the shared live mirror (refreshed per
-        // tick by the actor) and the socket's fault totals — it never
-        // touches actor state directly.
-        let scrape = match config.options.metrics_bind {
-            Some(addr) => {
-                let registry = Arc::new(MetricsRegistry::new());
-                let node_label = [("node", local_addr.to_string())];
-                let wire_shared = Arc::clone(&shared);
-                registry.register("wire", &node_label, move || {
-                    wire_samples(&wire_shared.wire_snapshot())
-                });
-                let latency_shared = Arc::clone(&shared);
-                registry.register_histograms("wire", &node_label, move || {
-                    hop_latency_histograms(&latency_shared.latency)
-                });
-                let fault_handle = socket.try_clone()?;
-                registry.register("faults", &node_label, move || {
-                    fault_samples(&fault_handle.fault_counters())
-                });
-                Some(ScrapeServer::spawn(addr, registry, ScrapeOptions::default())?)
-            }
-            None => None,
-        };
+        let scrape = spawn_scrape(&config.options, local_addr, &shared, &socket)?;
 
         let handle = socket.try_clone()?;
         let actor = {
             let shared = Arc::clone(&shared);
-            thread::spawn(move || Actor::new(socket, config, shared).run(&event_rx, &control_rx))
+            thread::spawn(move || {
+                NodeStateMachine::new(socket, config, shared).run(&event_rx, &control_rx)
+            })
         };
 
         Ok(PeerNode {
@@ -506,6 +483,42 @@ fn fault_samples(c: &DatagramFaultCounters) -> Vec<ltnc_telemetry::Sample> {
     ]
 }
 
+/// Publishes a source's by-definition completion on `shared` before any
+/// runtime drives its state machine, so completion observers never see a
+/// stale "incomplete" for it. A no-op for receivers.
+pub(crate) fn publish_source_complete(role: &NodeRole, shared: &Shared) {
+    if let NodeRole::Source { object, params } = role {
+        let manifest = ObjectManifest { object_len: object.len() as u64, params: *params };
+        shared.complete.store(true, Ordering::Release);
+        shared.complete_generations.store(manifest.generation_count() as usize, Ordering::Release);
+    }
+}
+
+/// Spawns the node's metrics scrape endpoint when
+/// [`NodeOptions::metrics_bind`] is set. The endpoint reads the shared
+/// live mirror (refreshed per tick by the state machine) and the
+/// socket's fault totals — it never touches state-machine state
+/// directly, which is what lets both runtimes share it.
+pub(crate) fn spawn_scrape(
+    options: &NodeOptions,
+    local_addr: SocketAddr,
+    shared: &Arc<Shared>,
+    socket: &FaultySocket,
+) -> io::Result<Option<ScrapeServer>> {
+    let Some(addr) = options.metrics_bind else { return Ok(None) };
+    let registry = Arc::new(MetricsRegistry::new());
+    let node_label = [("node", local_addr.to_string())];
+    let wire_shared = Arc::clone(shared);
+    registry.register("wire", &node_label, move || wire_samples(&wire_shared.wire_snapshot()));
+    let latency_shared = Arc::clone(shared);
+    registry.register_histograms("wire", &node_label, move || {
+        hop_latency_histograms(&latency_shared.latency)
+    });
+    let fault_handle = socket.try_clone()?;
+    registry.register("faults", &node_label, move || fault_samples(&fault_handle.fault_counters()));
+    Ok(Some(ScrapeServer::spawn(addr, registry, ScrapeOptions::default())?))
+}
+
 fn socket_loop(socket: &FaultySocket, events: &SyncSender<(Vec<u8>, SocketAddr)>, shared: &Shared) {
     // 64 KiB: the largest datagram UDP can carry; frames are validated by
     // the codec, not by the read size.
@@ -566,7 +579,14 @@ struct PeerPacing {
     last_cut: Option<Instant>,
 }
 
-struct Actor {
+/// The runtime-agnostic protocol core of one node: every recv, tick and
+/// peer-wiring transition lives here, behind a poll-style surface
+/// ([`NodeStateMachine::handle_datagram`], [`NodeStateMachine::tick`],
+/// [`NodeStateMachine::set_peers`]). The threaded runtime drives it from
+/// a dedicated thread ([`NodeStateMachine::run`]); the sharded runtime
+/// (`crate::sharded`) drives the same type from reactor callbacks — one
+/// protocol implementation, two schedulers.
+pub(crate) struct NodeStateMachine {
     socket: FaultySocket,
     session: u64,
     params: SchemeParams,
@@ -598,8 +618,12 @@ struct Actor {
     publish_live: bool,
 }
 
-impl Actor {
-    fn new(socket: FaultySocket, config: NodeConfig, shared: Arc<Shared>) -> Actor {
+impl NodeStateMachine {
+    pub(crate) fn new(
+        socket: FaultySocket,
+        config: NodeConfig,
+        shared: Arc<Shared>,
+    ) -> NodeStateMachine {
         let tracer = Tracer::from_option(config.trace);
         let publish_live = config.options.metrics_bind.is_some();
         let (params, source, receiver) = match config.role {
@@ -618,7 +642,7 @@ impl Actor {
             .map(|s| s.manifest().generation_count())
             .or_else(|| receiver.as_ref().map(|r| r.manifest().generation_count()))
             .expect("role provides a manifest");
-        Actor {
+        NodeStateMachine {
             socket,
             session: config.session,
             params,
@@ -645,6 +669,17 @@ impl Actor {
         }
     }
 
+    /// Wires the node into the swarm and starts its gossip ticks — the
+    /// starting gun, however the state machine is scheduled.
+    pub(crate) fn set_peers(&mut self, peers: Vec<SocketAddr>) {
+        self.peers = peers;
+        self.started = true;
+    }
+
+    /// The threaded-runtime adapter: blocks on the socket thread's event
+    /// queue, polls the control channel, and self-paces ticks — exactly
+    /// the dedicated-thread loop `PeerNode` has always run, now a thin
+    /// shell over the same state machine the sharded runtime drives.
     fn run(
         mut self,
         events: &Receiver<(Vec<u8>, SocketAddr)>,
@@ -654,10 +689,7 @@ impl Actor {
         loop {
             while let Ok(message) = control.try_recv() {
                 match message {
-                    Control::SetPeers(peers) => {
-                        self.peers = peers;
-                        self.started = true;
-                    }
+                    Control::SetPeers(peers) => self.set_peers(peers),
                     Control::Shutdown => self.shutdown = true,
                 }
             }
@@ -679,7 +711,8 @@ impl Actor {
         self.into_report()
     }
 
-    fn into_report(mut self) -> PeerReport {
+    /// Final accounting; consumes the state machine.
+    pub(crate) fn into_report(mut self) -> PeerReport {
         let (complete, complete_generations, object, decoding, mut recoding) = match self
             .receiver
             .as_mut()
@@ -729,7 +762,7 @@ impl Actor {
     /// Copies the actor's counters into the shared live mirror — the
     /// scrape endpoint's read side. A no-op unless an endpoint is
     /// attached, so nodes without one never touch the mutex.
-    fn publish_wire(&self) {
+    pub(crate) fn publish_wire(&self) {
         if !self.publish_live {
             return;
         }
@@ -852,7 +885,7 @@ impl Actor {
         EnvelopeHeader { kind, scheme: self.params.kind, session: self.session, generation }
     }
 
-    fn handle_datagram(&mut self, bytes: &[u8], from: SocketAddr) {
+    pub(crate) fn handle_datagram(&mut self, bytes: &[u8], from: SocketAddr) {
         // Borrowing decode: the payload of a `DataPayload` stays a view
         // into the datagram buffer until the packet is actually retained
         // below, so frames we drop (corrupt, stale session, no receiver)
@@ -1009,7 +1042,7 @@ impl Actor {
         }
     }
 
-    fn tick(&mut self) {
+    pub(crate) fn tick(&mut self) {
         self.publish_wire();
         self.evict_stale_pending();
         if self.peers.is_empty() {
@@ -1280,7 +1313,7 @@ mod tests {
 
     /// A source actor driven directly (no threads) to unit-test the
     /// pacing state machine.
-    fn pacing_actor(options: NodeOptions) -> Actor {
+    fn pacing_actor(options: NodeOptions) -> NodeStateMachine {
         let params = SchemeParams::new(SchemeKind::Rlnc, 4, 2);
         let socket = crate::faults::FaultySocket::new(
             UdpSocket::bind("127.0.0.1:0").expect("bind"),
@@ -1288,7 +1321,7 @@ mod tests {
         )
         .expect("wrap");
         let shared = Arc::new(Shared::new());
-        Actor::new(
+        NodeStateMachine::new(
             socket,
             NodeConfig::new(1, NodeRole::Source { object: vec![1u8; 8], params }, options),
             shared,

@@ -1,0 +1,251 @@
+//! The sharded swarm runtime: every node multiplexed onto a few
+//! `ltnc-reactor` worker threads.
+//!
+//! The threaded runtime spends two OS threads per node, which tops out
+//! around the high hundreds of in-process nodes (scheduler pressure,
+//! stack memory, context-switch churn). This module drives the *same*
+//! [`NodeStateMachine`] from reactor callbacks instead: each node is a
+//! [`Driven`] implementation whose nonblocking [`FaultySocket`] is
+//! polled edge-triggered, whose gossip tick is a reactor timer, and
+//! whose held-datagram release (reorder/duplicate holds that the
+//! blocking runtime flushes on its 20ms read timeout) is a second,
+//! on-demand timer. One protocol implementation, two schedulers — which
+//! is what makes the reactor/thread equivalence tests meaningful.
+//!
+//! Differences from the threaded runtime, by design:
+//!
+//! * there is no bounded inter-thread queue, so
+//!   [`ltnc_metrics::WireCounters::inbound_dropped`] stays zero —
+//!   backpressure is the OS socket buffer instead;
+//! * *delay* faults still block (`thread::sleep` inside the fault
+//!   layer), which on this runtime stalls a whole worker shard — prefer
+//!   drop/reorder/duplicate plans for large sharded runs.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::os::fd::RawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ltnc_reactor::{Cx, Driven, Reactor};
+use ltnc_scheme::SchemeParams;
+use ltnc_telemetry::{RingSink, ScrapeServer, Tracer};
+
+use crate::faults::{DatagramFaults, FaultySocket};
+use crate::generation::split_object;
+use crate::peer::{
+    publish_source_complete, spawn_scrape, NodeConfig, NodeOptions, NodeRole, NodeStateMachine,
+    PeerReport, Shared,
+};
+use crate::swarm::{assemble_report, SwarmConfig, SwarmReport, SwarmWiring};
+
+/// Timer tag of the recurring gossip tick.
+const TICK_TAG: u64 = 0;
+
+/// Timer tag of the one-shot held-datagram release.
+const RELEASE_TAG: u64 = 1;
+
+/// How long held (reordered/duplicated) datagrams wait before release —
+/// the cadence the threaded runtime gets for free from its 20ms blocking
+/// read timeout.
+const RELEASE_DELAY: Duration = Duration::from_millis(20);
+
+/// One node on the sharded runtime: the shared [`NodeStateMachine`]
+/// plus the socket handle and timers that replace its dedicated threads.
+struct ShardedNode {
+    /// `Some` until [`Driven::finish`] extracts the report.
+    sm: Option<NodeStateMachine>,
+    /// Drain/release handle sharing the state machine's fault state.
+    socket: FaultySocket,
+    /// Gossip tick period ([`NodeOptions::tick`]).
+    tick: Duration,
+    /// Whether a RELEASE timer is already pending (one at a time).
+    release_armed: bool,
+    /// Metrics endpoint, when [`NodeOptions::metrics_bind`] asked for
+    /// one; shut down in [`Driven::finish`].
+    scrape: Option<ScrapeServer>,
+}
+
+impl ShardedNode {
+    /// Drains the socket to `WouldBlock` — the edge-triggered contract —
+    /// feeding every surviving datagram to the state machine, then arms
+    /// a release timer if the fault layer parked anything.
+    fn drain(&mut self, cx: &mut Cx) {
+        if let Some(sm) = self.sm.as_mut() {
+            loop {
+                let buf = cx.scratch();
+                match self.socket.try_recv_from(buf) {
+                    Ok(Some((len, from))) => sm.handle_datagram(&buf[..len], from),
+                    Ok(None) => break,
+                    // Transient socket errors (e.g. ICMP port-unreachable
+                    // surfacing as ECONNREFUSED) are not fatal for a
+                    // datagram listener — same stance as the threaded
+                    // socket loop.
+                    Err(_) => break,
+                }
+            }
+        }
+        self.check_held(cx);
+    }
+
+    /// Arms the one-shot release timer when the fault layer holds
+    /// datagrams (reorder/duplicate parking) and no release is pending.
+    fn check_held(&mut self, cx: &mut Cx) {
+        if !self.release_armed && self.socket.has_held_datagrams() {
+            cx.arm(RELEASE_DELAY, RELEASE_TAG);
+            self.release_armed = true;
+        }
+    }
+}
+
+impl Driven for ShardedNode {
+    type Control = ();
+    type Output = PeerReport;
+
+    fn fd(&self) -> RawFd {
+        self.socket.as_raw_fd()
+    }
+
+    fn on_start(&mut self, cx: &mut Cx) {
+        cx.arm(self.tick, TICK_TAG);
+        self.drain(cx);
+    }
+
+    fn on_readable(&mut self, cx: &mut Cx) {
+        self.drain(cx);
+    }
+
+    fn on_timer(&mut self, tag: u64, cx: &mut Cx) {
+        match tag {
+            TICK_TAG => {
+                if let Some(sm) = self.sm.as_mut() {
+                    sm.tick();
+                }
+                cx.arm(self.tick, TICK_TAG);
+                self.check_held(cx);
+            }
+            RELEASE_TAG => {
+                self.release_armed = false;
+                self.socket.release_held();
+                self.drain(cx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_control(&mut self, (): (), _cx: &mut Cx) {}
+
+    fn finish(&mut self) -> PeerReport {
+        if let Some(scrape) = self.scrape.take() {
+            scrape.shutdown();
+        }
+        self.sm.take().expect("finish is called exactly once").into_report()
+    }
+}
+
+/// Runs a wired swarm on the sharded reactor runtime — the
+/// [`crate::swarm::SwarmRuntime::Sharded`] arm of
+/// [`crate::swarm::run_wired_swarm`], which has already validated
+/// `config` and `wiring`.
+pub(crate) fn run_sharded(
+    config: &SwarmConfig,
+    wiring: &SwarmWiring,
+    workers: usize,
+) -> io::Result<SwarmReport> {
+    let node_count = config.peers + 1;
+    let params = SchemeParams::new(config.scheme, config.code_length, config.payload_size);
+    let manifest = split_object(&config.object, params).0;
+    let bind: SocketAddr = "127.0.0.1:0".parse().expect("valid address");
+
+    // Same per-node fault re-seeding as the threaded runtime, so a fixed
+    // template seed describes the same per-link fault plans on both.
+    let node_faults = |index: u64| match &config.faults {
+        Some(template) => template.for_node(index),
+        None => DatagramFaults::clean(config.options.seed ^ index),
+    };
+
+    let mut nodes: Vec<ShardedNode> = Vec::with_capacity(node_count);
+    let mut sinks: Vec<Option<Arc<RingSink>>> = Vec::with_capacity(node_count);
+    let mut completion: Vec<Arc<Shared>> = Vec::with_capacity(node_count);
+    let mut node_addrs: Vec<SocketAddr> = Vec::with_capacity(node_count);
+    for i in 0..node_count {
+        // Role and seed derivation match run_wired_swarm exactly — the
+        // equivalence tests rely on both runtimes building identical
+        // state machines.
+        let role = if i == 0 {
+            NodeRole::Source { object: config.object.clone(), params }
+        } else {
+            NodeRole::Peer { manifest }
+        };
+        let seed = if i == 0 {
+            config.options.seed ^ 0xD15E
+        } else {
+            config.options.seed.wrapping_add(i as u64)
+        };
+        let sink = config.trace_capacity.map(|capacity| Arc::new(RingSink::new(capacity)));
+        sinks.push(sink.clone());
+        let mut node_config =
+            NodeConfig::new(config.session, role, NodeOptions { seed, ..config.options });
+        node_config.trace = sink.map(|sink| sink as _);
+
+        let tracer = Tracer::from_option(node_config.trace.clone());
+        // An early `?` here drops the nodes built so far; their
+        // ScrapeServers stop on drop, and no reactor threads exist yet.
+        let socket =
+            FaultySocket::with_tracer(UdpSocket::bind(bind)?, node_faults(i as u64), tracer)?;
+        socket.set_nonblocking(true)?;
+        let local_addr = socket.local_addr()?;
+
+        let shared = Arc::new(Shared::new());
+        publish_source_complete(&node_config.role, &shared);
+        let scrape = spawn_scrape(&node_config.options, local_addr, &shared, &socket)?;
+        let tick = node_config.options.tick;
+        let sm = NodeStateMachine::new(socket.try_clone()?, node_config, Arc::clone(&shared));
+
+        completion.push(shared);
+        node_addrs.push(local_addr);
+        nodes.push(ShardedNode { sm: Some(sm), socket, tick, release_armed: false, scrape });
+    }
+
+    // Link plans and peer wiring both go in before the reactor exists —
+    // no state machine runs until Reactor::start, so there is no window
+    // where early datagrams cross a link un-faulted (the threaded
+    // runtime needs careful ordering for the same guarantee).
+    for &(from, to, plan) in &wiring.link_faults {
+        nodes[to].socket.set_link_plan(node_addrs[from], plan);
+    }
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let targets: Vec<SocketAddr> =
+            wiring.push_targets[i].iter().map(|&j| node_addrs[j]).collect();
+        node.sm.as_mut().expect("state machine present before start").set_peers(targets);
+    }
+
+    let started = Instant::now();
+    let reactor = Reactor::start(nodes, workers)?;
+
+    let deadline = started + config.timeout;
+    while completion[1..].iter().any(|shared| !shared.complete.load(Ordering::Acquire))
+        && Instant::now() < deadline
+    {
+        thread::sleep(Duration::from_millis(5));
+    }
+    let elapsed = started.elapsed();
+
+    // Shutdown returns reports in original node order; pair each with
+    // its trace sink, exactly like the threaded teardown.
+    let reports: Vec<PeerReport> = reactor
+        .shutdown()
+        .into_iter()
+        .zip(sinks)
+        .map(|(mut report, sink)| {
+            if let Some(sink) = sink {
+                report.events = sink.drain();
+            }
+            report
+        })
+        .collect();
+
+    Ok(assemble_report(config, manifest.generation_count(), elapsed, node_addrs, reports))
+}

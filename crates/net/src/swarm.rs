@@ -66,6 +66,31 @@ pub struct SwarmConfig {
     /// [`PeerReport::events`] at shutdown. `None` (the default) installs
     /// no sink — every trace hook stays a no-op.
     pub trace_capacity: Option<usize>,
+    /// Which scheduler runs the nodes. Both runtimes drive the same
+    /// protocol state machine, harness, fault plans and counters; see
+    /// [`SwarmRuntime`] for the trade-off.
+    pub runtime: SwarmRuntime,
+}
+
+/// Which scheduler runs a swarm's node state machines.
+///
+/// Both runtimes share one protocol implementation
+/// (`crate::peer::NodeStateMachine`); the choice is purely how it gets
+/// scheduled, so reports are comparable across runtimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwarmRuntime {
+    /// Two dedicated OS threads per node (blocking socket reader +
+    /// actor) — the original runtime, comfortable into the hundreds of
+    /// in-process nodes.
+    #[default]
+    Threaded,
+    /// The `ltnc-reactor` epoll runtime: every node multiplexed onto
+    /// `workers` poll-driven worker threads — what makes 1000-node
+    /// swarms practical on one machine.
+    Sharded {
+        /// Worker threads to shard the nodes across (clamped to ≥ 1).
+        workers: usize,
+    },
 }
 
 impl SwarmConfig {
@@ -83,6 +108,7 @@ impl SwarmConfig {
             session: 0x5E55_1011,
             faults: None,
             trace_capacity: None,
+            runtime: SwarmRuntime::Threaded,
         }
     }
 }
@@ -224,6 +250,9 @@ pub fn run_wired_swarm(config: &SwarmConfig, wiring: &SwarmWiring) -> io::Result
     assert!(config.peers > 0, "a swarm needs at least one peer");
     let node_count = config.peers + 1;
     wiring.validate(node_count);
+    if let SwarmRuntime::Sharded { workers } = config.runtime {
+        return crate::sharded::run_sharded(config, wiring, workers.max(1));
+    }
     let params = SchemeParams::new(config.scheme, config.code_length, config.payload_size);
     let manifest = split_object(&config.object, params).0;
     let bind: SocketAddr = "127.0.0.1:0".parse().expect("valid address");
@@ -291,7 +320,7 @@ pub fn run_wired_swarm(config: &SwarmConfig, wiring: &SwarmWiring) -> io::Result
     }
     let elapsed = started.elapsed();
 
-    let mut reports = nodes
+    let reports = nodes
         .into_iter()
         .zip(sinks)
         .map(|(node, sink)| {
@@ -301,8 +330,23 @@ pub fn run_wired_swarm(config: &SwarmConfig, wiring: &SwarmWiring) -> io::Result
             }
             report
         })
-        .collect::<Vec<PeerReport>>()
-        .into_iter();
+        .collect::<Vec<PeerReport>>();
+
+    Ok(assemble_report(config, manifest.generation_count(), elapsed, node_addrs, reports))
+}
+
+/// Folds the per-node reports of a finished run into the aggregate
+/// [`SwarmReport`]. Shared by both runtimes so converged / bit-exact /
+/// total-counter semantics are computed identically, whatever scheduler
+/// produced the reports. `reports[0]` is the source.
+pub(crate) fn assemble_report(
+    config: &SwarmConfig,
+    generations: u32,
+    elapsed: Duration,
+    node_addrs: Vec<SocketAddr>,
+    reports: Vec<PeerReport>,
+) -> SwarmReport {
+    let mut reports = reports.into_iter();
     let source_report = reports.next().expect("the source exists");
     let peer_reports: Vec<PeerReport> = reports.collect();
 
@@ -320,19 +364,19 @@ pub fn run_wired_swarm(config: &SwarmConfig, wiring: &SwarmWiring) -> io::Result
         total_faults.merge(&report.faults);
     }
 
-    Ok(SwarmReport {
+    SwarmReport {
         scheme: config.scheme,
         converged,
         elapsed,
         peers_complete,
         bit_exact,
-        generations: manifest.generation_count(),
+        generations,
         total_wire,
         source_report,
         total_faults,
         node_addrs,
         peer_reports,
-    })
+    }
 }
 
 #[cfg(test)]

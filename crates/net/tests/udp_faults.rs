@@ -16,7 +16,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ltnc_net::faults::{DatagramFaultPlan, DatagramFaults, FaultySocket};
-use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig};
+use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig, SwarmRuntime};
 use ltnc_net::{NodeConfig, NodeOptions, NodeRole};
 use ltnc_scheme::{SchemeKind, SchemeParams};
 use rand::rngs::SmallRng;
@@ -54,6 +54,7 @@ fn lossy_config(scheme: SchemeKind, object_len: usize) -> SwarmConfig {
         session: 0xFA_0000 + scheme.wire_id() as u64,
         faults: Some(lossy_links(fault_seed())),
         trace_capacity: None,
+        runtime: SwarmRuntime::Threaded,
     }
 }
 
@@ -192,6 +193,7 @@ fn stress_swarm_survives_heavy_loss_reordering_and_delay() {
             session: 0xFB_0000 + scheme.wire_id() as u64,
             faults: Some(faults),
             trace_capacity: None,
+            runtime: SwarmRuntime::Threaded,
         };
         let report = run_localhost_swarm(&config).expect("swarm should start");
         assert!(

@@ -1,0 +1,36 @@
+//! `ltnc-reactor`: a vendored mini-runtime for running many node state
+//! machines on a few threads.
+//!
+//! The thread-per-node runtime in `ltnc-net` burns two blocking OS
+//! threads per peer, which caps in-process swarms at a few hundred
+//! nodes. This crate provides the event-driven alternative the larger
+//! experiments need, with no external dependencies (crates.io is
+//! offline in the build environment):
+//!
+//! * [`Poller`] — read-readiness polling: `epoll` (edge-triggered) on
+//!   Linux, a degraded-but-correct spurious-wakeup backend elsewhere;
+//! * [`TimerWheel`] — hashed wheel for protocol ticks and pending-TTL
+//!   deadlines, never-early firing, lazy cancellation;
+//! * [`Waker`] — cross-thread wakeup with coalescing, built on a
+//!   self-connected loopback datagram socket;
+//! * [`Reactor`] / [`Driven`] — the sharded scheduler: nodes are
+//!   partitioned round-robin across worker threads and driven through
+//!   poll/timer/control callbacks, with a graceful shutdown sweep that
+//!   drains in-flight datagrams before collecting outputs.
+//!
+//! The crate is deliberately protocol-agnostic: `ltnc-net` ports its
+//! `PeerNode` onto [`Driven`], but anything with a nonblocking
+//! descriptor and a tick can ride the same loop.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod poll;
+mod shard;
+mod timer;
+mod wake;
+
+pub use poll::{Event, Poller};
+pub use shard::{Cx, Driven, Reactor};
+pub use timer::{TimerId, TimerWheel};
+pub use wake::Waker;

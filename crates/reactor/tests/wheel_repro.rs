@@ -1,0 +1,24 @@
+//! Regression: a deadline an exact multiple of the wheel horizon must
+//! not fire a full revolution late.
+
+use std::time::{Duration, Instant};
+
+use ltnc_reactor::TimerWheel;
+
+#[test]
+fn horizon_multiple_deadlines_fire_on_time_not_a_lap_late() {
+    let origin = Instant::now();
+    let mut w = TimerWheel::new(Duration::from_millis(1), 64, origin);
+    // 64, 128, 192: ticks that are exact multiples of the slot count all
+    // park on the cursor's own slot — the former overshoot-by-a-lap case.
+    let ids: Vec<_> = [64u64, 128, 192, 205]
+        .iter()
+        .map(|&ms| w.schedule_at(origin + Duration::from_millis(ms)))
+        .collect();
+    let fired = w.poll_expired(origin + Duration::from_millis(250));
+    assert_eq!(
+        fired.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+        vec![ids[0], ids[1], ids[2], ids[3]]
+    );
+    assert!(w.is_empty());
+}

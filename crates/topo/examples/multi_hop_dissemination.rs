@@ -29,7 +29,9 @@ use ltnc_net::faults::DatagramFaultPlan;
 use ltnc_net::NodeOptions;
 use ltnc_scheme::SchemeKind;
 use ltnc_telemetry::json::JsonValue;
-use ltnc_topo::{run_topology, Topology, TopologyConfig, TopologyFaults, TopologyReport};
+use ltnc_topo::{
+    run_topology, SwarmRuntime, Topology, TopologyConfig, TopologyFaults, TopologyReport,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -398,6 +400,7 @@ fn main() -> ExitCode {
             link_faults: link_faults.clone(),
             node_faults: None,
             trace_capacity: args.trace_capacity,
+            runtime: SwarmRuntime::Threaded,
         };
         match run_topology(&config) {
             Ok(report) => {

@@ -49,5 +49,6 @@
 pub mod run;
 pub mod topology;
 
+pub use ltnc_net::swarm::SwarmRuntime;
 pub use run::{run_topology, TopologyConfig, TopologyFaults, TopologyReport};
 pub use topology::Topology;

@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use ltnc_metrics::{HopCounters, HopStats, LogHistogramSnapshot};
 use ltnc_net::faults::{DatagramFaultCounters, DatagramFaultPlan, DatagramFaults};
-use ltnc_net::swarm::{run_wired_swarm, SwarmConfig, SwarmReport, SwarmWiring};
+use ltnc_net::swarm::{run_wired_swarm, SwarmConfig, SwarmReport, SwarmRuntime, SwarmWiring};
 use ltnc_net::NodeOptions;
 use ltnc_scheme::SchemeKind;
 use ltnc_telemetry::TraceEvent;
@@ -113,6 +113,11 @@ pub struct TopologyConfig {
     /// from the per-node event streams. `None` (the default) installs no
     /// sink.
     pub trace_capacity: Option<usize>,
+    /// Which scheduler runs the nodes (see [`SwarmRuntime`]): dedicated
+    /// threads per node, or the sharded reactor runtime that makes
+    /// 1000-node overlays practical on one machine. The lowering,
+    /// harness, fault plans and reports are identical either way.
+    pub runtime: SwarmRuntime,
 }
 
 impl TopologyConfig {
@@ -133,6 +138,7 @@ impl TopologyConfig {
             link_faults: TopologyFaults::default(),
             node_faults: None,
             trace_capacity: None,
+            runtime: SwarmRuntime::Threaded,
         }
     }
 
@@ -306,6 +312,7 @@ pub fn run_topology(config: &TopologyConfig) -> io::Result<TopologyReport> {
         session: config.session,
         faults: config.node_faults,
         trace_capacity: config.trace_capacity,
+        runtime: config.runtime,
     };
     let swarm = run_wired_swarm(&swarm_config, &wiring)?;
 

@@ -15,7 +15,7 @@
 use std::time::Duration;
 
 use ltnc_net::faults::{DatagramFaultPlan, DatagramFaults};
-use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig, SwarmWiring};
+use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig, SwarmRuntime, SwarmWiring};
 use ltnc_net::NodeOptions;
 use ltnc_scheme::SchemeKind;
 use ltnc_topo::{run_topology, Topology, TopologyConfig, TopologyFaults};
@@ -76,6 +76,7 @@ fn complete_topology_reproduces_legacy_swarm_behaviour_under_seeded_faults() {
             session: 0xE0_0000 + u64::from(scheme.wire_id()),
             faults: Some(faults),
             trace_capacity: None,
+            runtime: SwarmRuntime::Threaded,
         };
         let legacy = run_localhost_swarm(&legacy_config).expect("legacy swarm starts");
 
@@ -92,6 +93,7 @@ fn complete_topology_reproduces_legacy_swarm_behaviour_under_seeded_faults() {
             link_faults: TopologyFaults::default(),
             node_faults: Some(faults),
             trace_capacity: None,
+            runtime: SwarmRuntime::Threaded,
         };
         let topo = run_topology(&topo_config).expect("topology run starts");
 

@@ -12,7 +12,7 @@ use std::time::Duration;
 use ltnc_net::faults::DatagramFaultPlan;
 use ltnc_net::NodeOptions;
 use ltnc_scheme::SchemeKind;
-use ltnc_topo::{run_topology, Topology, TopologyConfig, TopologyFaults};
+use ltnc_topo::{run_topology, SwarmRuntime, Topology, TopologyConfig, TopologyFaults};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,6 +52,7 @@ fn lossy_config(
         ),
         node_faults: None,
         trace_capacity: None,
+        runtime: SwarmRuntime::Threaded,
     }
 }
 

@@ -1,0 +1,162 @@
+//! Reactor/thread equivalence: the same seeded configuration must
+//! behave the same on both [`SwarmRuntime`]s, for every topology shape
+//! and every scheme.
+//!
+//! "The same" is deliberately precise, because the two runtimes differ
+//! in *scheduling*, which timing-dependent quantities reflect:
+//!
+//! * **clean runs**: both runtimes converge, every delivered object is
+//!   bit-exact, and the injected-fault totals are identical (zero —
+//!   there is nothing to inject);
+//! * **faulty runs**: both runtimes converge bit-exactly *through* the
+//!   loss, both actually injected faults, and both exercised relay
+//!   recoding. Exact fault-count equality across runtimes is not a
+//!   meaningful property: how many datagrams cross a lossy link before
+//!   convergence depends on traffic volume, which is timing-dependent —
+//!   what is invariant is the delivered data and the protocol outcome.
+//!
+//! The sharded runtime's own determinism (same seed + same worker
+//! count, twice) is pinned in `sharded_determinism.rs`.
+
+use std::time::Duration;
+
+use ltnc_net::faults::DatagramFaultPlan;
+use ltnc_net::NodeOptions;
+use ltnc_scheme::SchemeKind;
+use ltnc_topo::{
+    run_topology, SwarmRuntime, Topology, TopologyConfig, TopologyFaults, TopologyReport,
+};
+
+fn object(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 37 % 251) as u8).collect()
+}
+
+/// Seeded default, overridable for replay like every fault test.
+fn fault_seed() -> u64 {
+    std::env::var("LTNC_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xF00D_u64)
+}
+
+/// Every overlay shape the topology crate can build, smallest useful
+/// instance of each.
+fn shapes() -> Vec<Topology> {
+    vec![
+        Topology::line(4),
+        Topology::ring(5),
+        Topology::star(5),
+        Topology::binary_tree(7),
+        Topology::complete(5),
+        Topology::random_regular(8, 3, 0x7E9),
+    ]
+}
+
+fn config(scheme: SchemeKind, topology: Topology, runtime: SwarmRuntime) -> TopologyConfig {
+    let mut config = TopologyConfig::quick(scheme, object(400), topology);
+    config.code_length = 8;
+    config.payload_size = 16;
+    config.timeout = Duration::from_secs(60);
+    config.options = NodeOptions { seed: 0xE0_01CE, ..NodeOptions::default() };
+    config.session = 0xE0_0000 + u64::from(scheme.wire_id());
+    config.runtime = runtime;
+    config
+}
+
+fn run(scheme: SchemeKind, topology: &Topology, runtime: SwarmRuntime) -> TopologyReport {
+    let config = config(scheme, topology.clone(), runtime);
+    let report = run_topology(&config).expect("run starts");
+    assert!(
+        report.swarm.converged,
+        "{scheme:?} on {} under {runtime:?} did not converge: {}/{} peers in {:?}",
+        report.topology_label,
+        report.swarm.peers_complete,
+        topology.nodes() - 1,
+        report.swarm.elapsed
+    );
+    assert!(
+        report.swarm.bit_exact,
+        "{scheme:?} on {} under {runtime:?} was not bit-exact",
+        report.topology_label
+    );
+    report
+}
+
+/// Clean runs: both runtimes converge bit-exactly on every shape and
+/// scheme, deliver identical objects, inject nothing, and exercise
+/// relay recoding wherever the overlay actually has relays.
+#[test]
+fn every_shape_and_scheme_is_equivalent_across_runtimes() {
+    for topology in shapes() {
+        for scheme in SchemeKind::ALL {
+            let threaded = run(scheme, &topology, SwarmRuntime::Threaded);
+            let sharded = run(scheme, &topology, SwarmRuntime::Sharded { workers: 2 });
+
+            for (t, s) in threaded.swarm.peer_reports.iter().zip(sharded.swarm.peer_reports.iter())
+            {
+                assert_eq!(
+                    t.object, s.object,
+                    "{scheme:?} on {}: delivered objects differ across runtimes",
+                    threaded.topology_label
+                );
+            }
+            assert_eq!(
+                threaded.swarm.total_faults.total(),
+                0,
+                "clean threaded run must inject nothing"
+            );
+            assert_eq!(
+                sharded.swarm.total_faults.total(),
+                0,
+                "clean sharded run must inject nothing"
+            );
+            assert_eq!(threaded.swarm.generations, sharded.swarm.generations);
+            if threaded.max_hops() >= 2 {
+                assert!(
+                    threaded.relay_recoding_ops > 0,
+                    "{scheme:?} on {}: threaded relays must recode",
+                    threaded.topology_label
+                );
+                assert!(
+                    sharded.relay_recoding_ops > 0,
+                    "{scheme:?} on {}: sharded relays must recode",
+                    sharded.topology_label
+                );
+            }
+        }
+    }
+}
+
+/// Faulty runs: seeded per-link loss on a pure relay chain. Both
+/// runtimes must converge bit-exactly through the loss, both must have
+/// injected faults, and both must have recoded at relays — the protocol
+/// outcome is runtime-invariant even when the traffic volume is not.
+#[test]
+fn lossy_line_converges_bit_exactly_on_both_runtimes() {
+    let plan = DatagramFaultPlan::clean(fault_seed()).drop_rate(0.15);
+    for scheme in SchemeKind::ALL {
+        let mut reports = Vec::new();
+        for runtime in [SwarmRuntime::Threaded, SwarmRuntime::Sharded { workers: 2 }] {
+            let mut config = config(scheme, Topology::line(4), runtime);
+            config.link_faults = TopologyFaults::uniform(plan);
+            let report = run_topology(&config).expect("run starts");
+            assert!(
+                report.swarm.converged && report.swarm.bit_exact,
+                "{scheme:?} lossy line under {runtime:?} failed: {}/{} peers in {:?}",
+                report.swarm.peers_complete,
+                3,
+                report.swarm.elapsed
+            );
+            assert!(
+                report.swarm.total_faults.total() > 0,
+                "{scheme:?} under {runtime:?}: 15% per-link loss must drop something"
+            );
+            assert!(
+                report.relay_recoding_ops > 0,
+                "{scheme:?} under {runtime:?}: relays must recode through loss"
+            );
+            reports.push(report);
+        }
+        for (t, s) in reports[0].swarm.peer_reports.iter().zip(reports[1].swarm.peer_reports.iter())
+        {
+            assert_eq!(t.object, s.object, "{scheme:?}: delivered objects differ across runtimes");
+        }
+    }
+}

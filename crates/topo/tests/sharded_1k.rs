@@ -1,0 +1,74 @@
+//! The 1000-node k-regular swarm on the sharded runtime — the scale the
+//! reactor exists for, as a real, replayable scenario rather than a
+//! thought experiment.
+//!
+//! Ignored by default (it is a scale test, tens of seconds per scheme);
+//! CI runs it via `--include-ignored` with a fixed `LTNC_FAULT_SEED`.
+//! Degree 4 keeps the pairing-model `random_regular` construction
+//! reliable at this size (acceptance probability collapses for larger
+//! degrees at 1000 nodes), and `nodes × degree` stays even as the
+//! construction requires.
+
+use std::time::Duration;
+
+use ltnc_net::faults::DatagramFaultPlan;
+use ltnc_net::NodeOptions;
+use ltnc_scheme::SchemeKind;
+use ltnc_topo::{run_topology, SwarmRuntime, Topology, TopologyConfig, TopologyFaults};
+
+const NODES: usize = 1000;
+const DEGREE: usize = 4;
+
+fn fault_seed() -> u64 {
+    std::env::var("LTNC_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xF00D_u64)
+}
+
+fn object(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 29 % 255) as u8).collect()
+}
+
+#[test]
+#[ignore = "1000-node scale run; CI includes it explicitly"]
+fn thousand_node_k_regular_swarm_converges_bit_exactly_under_loss() {
+    let seed = fault_seed();
+    for scheme in SchemeKind::ALL {
+        let topology = Topology::random_regular(NODES, DEGREE, 0x1000 ^ seed);
+        let mut config = TopologyConfig::quick(scheme, object(512), topology);
+        config.code_length = 8;
+        config.payload_size = 32;
+        // A gentler tick than the 2ms default: 1000 state machines on a
+        // couple of cores saturate on timer pressure alone at 2ms, and
+        // the epidemic needs rounds, not frequency.
+        config.options = NodeOptions {
+            seed: 0x1_000 + u64::from(scheme.wire_id()),
+            tick: Duration::from_millis(10),
+            ..NodeOptions::default()
+        };
+        config.session = 0x1000_0000 + u64::from(scheme.wire_id());
+        config.timeout = Duration::from_secs(180);
+        config.link_faults =
+            TopologyFaults::uniform(DatagramFaultPlan::clean(seed).drop_rate(0.05));
+        config.runtime = SwarmRuntime::Sharded { workers: 4 };
+
+        let report = run_topology(&config).expect("1000-node run starts");
+        assert!(
+            report.swarm.converged,
+            "{scheme:?}: only {}/{} peers completed in {:?}",
+            report.swarm.peers_complete,
+            NODES - 1,
+            report.swarm.elapsed
+        );
+        assert!(report.swarm.bit_exact, "{scheme:?}: reconstruction mismatch at 1000 nodes");
+        assert!(
+            report.swarm.total_faults.total() > 0,
+            "{scheme:?}: 5% per-link loss must inject faults"
+        );
+        assert!(report.relay_recoding_ops > 0, "{scheme:?}: relays must recode at scale");
+        eprintln!(
+            "{scheme:?}: 1000 nodes converged in {:?} ({} hops max, {} faults injected)",
+            report.swarm.elapsed,
+            report.max_hops(),
+            report.swarm.total_faults.total()
+        );
+    }
+}

@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig};
+use ltnc_net::swarm::{run_localhost_swarm, SwarmConfig, SwarmRuntime};
 use ltnc_net::NodeOptions;
 use ltnc_sim::SchemeKind;
 use rand::rngs::SmallRng;
@@ -38,6 +38,7 @@ fn multi_generation_config(scheme: SchemeKind) -> SwarmConfig {
         session: 0xAB_0000 + scheme.wire_id() as u64,
         faults: None,
         trace_capacity: None,
+        runtime: SwarmRuntime::Threaded,
     }
 }
 
@@ -104,6 +105,7 @@ fn single_generation_object_and_tiny_payloads_work() {
         session: 0xCAFE,
         faults: None,
         trace_capacity: None,
+        runtime: SwarmRuntime::Threaded,
     };
     let report = run_localhost_swarm(&config).expect("swarm should start");
     assert_eq!(report.generations, 1);
