@@ -64,6 +64,8 @@ fn config(adaptive: bool, loss: f64) -> SwarmConfig {
         faults: lossy(loss),
         trace_capacity: None,
         runtime: SwarmRuntime::Threaded,
+        metrics_bind: None,
+        flight_recorder: None,
     }
 }
 

@@ -59,6 +59,8 @@ fn config(scheme: SchemeKind, hops: usize, loss: f64) -> TopologyConfig {
         node_faults: None,
         trace_capacity: None,
         runtime: SwarmRuntime::Threaded,
+        metrics_bind: None,
+        flight_recorder: None,
     }
 }
 

@@ -17,7 +17,7 @@
 //! | `striped_fetch` | one object striped across 3 warm TCP replicas |
 //! | `warm_cache`    | warm-ring symbol serving (store hit path, no sockets) |
 //! | `gf2_kernel`    | raw coding kernel: bulk payload XOR + relay recode, no sockets |
-//! | `sharded_1k`    | 1000-node k-regular overlay on the sharded reactor runtime, plus a 64-node threaded reference for the per-node goodput ratio |
+//! | `sharded_1k`    | 1000-node k-regular overlay on the sharded reactor runtime, plus a 64-node threaded reference for the per-node goodput ratio and a flight-recorder-armed A/B rerun gating tracing overhead (`tracing_overhead_2x`) |
 //!
 //! Flags: `--smoke` (CI-sized runs), `--out <dir>` (where the JSON
 //! lands, default `.`), `--only <scenario>` (repeatable filter),
@@ -47,7 +47,7 @@ use ltnc_serve::{
     fetch, fetch_striped, ClientOptions, ObjectStore, ServeOptions, Server, StripedOptions,
 };
 use ltnc_telemetry::json::{JsonValue, REPORT_SCHEMA_VERSION};
-use ltnc_topo::{run_topology, Topology, TopologyConfig, TopologyFaults};
+use ltnc_topo::{run_topology, FlightRecorder, Topology, TopologyConfig, TopologyFaults};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -133,6 +133,8 @@ fn pacing(loss: f64, smoke: bool, seed: u64) -> Result<Outcome, String> {
         )),
         trace_capacity: None,
         runtime: SwarmRuntime::Threaded,
+        metrics_bind: None,
+        flight_recorder: None,
     };
     let report = run_localhost_swarm(&config).map_err(|e| format!("swarm failed to start: {e}"))?;
     if !report.converged || !report.bit_exact {
@@ -174,6 +176,8 @@ fn line(hops: usize, smoke: bool, seed: u64) -> Result<Outcome, String> {
         node_faults: None,
         trace_capacity: None,
         runtime: SwarmRuntime::Threaded,
+        metrics_bind: None,
+        flight_recorder: None,
     };
     let report = run_topology(&config).map_err(|e| format!("topology failed to start: {e}"))?;
     if !report.swarm.converged || !report.swarm.bit_exact {
@@ -362,6 +366,7 @@ fn gf2_kernel(smoke: bool, seed: u64) -> Result<Outcome, String> {
 fn k_regular_run(
     nodes: usize,
     runtime: SwarmRuntime,
+    flight_recorder: Option<FlightRecorder>,
     seed: u64,
 ) -> Result<ltnc_topo::TopologyReport, String> {
     let object_len = 512;
@@ -384,6 +389,7 @@ fn k_regular_run(
     config.session = 0x51_0000 + nodes as u64;
     config.timeout = Duration::from_secs(180);
     config.runtime = runtime;
+    config.flight_recorder = flight_recorder;
     let report =
         run_topology(&config).map_err(|e| format!("{nodes}-node run failed to start: {e}"))?;
     if !report.swarm.converged || !report.swarm.bit_exact {
@@ -405,9 +411,21 @@ fn k_regular_run(
 /// per-node figures of both runs land in extra JSON fields, and the
 /// scenario fails outright when the sharded per-node goodput falls more
 /// than 2× below the threaded reference after CPU-share normalization.
+///
+/// A third run repeats the 1000-node shape with the flight recorder
+/// armed (criterion `tracing_overhead_2x`): scheduler tracing claims to
+/// be near-zero-cost when disabled *and cheap when enabled*, so the
+/// traced run must hold within 2× of the untraced one or the scenario
+/// fails.
 fn sharded_1k(_smoke: bool, seed: u64) -> Result<Outcome, String> {
-    let sharded = k_regular_run(1000, SwarmRuntime::Sharded { workers: 4 }, seed)?;
-    let threaded = k_regular_run(64, SwarmRuntime::Threaded, seed)?;
+    let sharded = k_regular_run(1000, SwarmRuntime::Sharded { workers: 4 }, None, seed)?;
+    let threaded = k_regular_run(64, SwarmRuntime::Threaded, None, seed)?;
+    let traced = k_regular_run(
+        1000,
+        SwarmRuntime::Sharded { workers: 4 },
+        Some(FlightRecorder::default()),
+        seed,
+    )?;
 
     // Per-node goodput: object bytes per second per completing peer —
     // the whole object reaches every peer, so this is object_len over
@@ -424,6 +442,7 @@ fn sharded_1k(_smoke: bool, seed: u64) -> Result<Outcome, String> {
     };
     let per_node_sharded = per_node(&sharded);
     let per_node_threaded = per_node(&threaded);
+    let per_node_traced = per_node(&traced);
     let cpu_share = 1000.0 / 64.0;
     let normalized_sharded = per_node_sharded * cpu_share;
     if normalized_sharded * 2.0 < per_node_threaded {
@@ -431,6 +450,13 @@ fn sharded_1k(_smoke: bool, seed: u64) -> Result<Outcome, String> {
             "per-node goodput collapsed at scale: {per_node_sharded:.1} B/s/node sharded@1000 \
              ({normalized_sharded:.1} after the {cpu_share:.1}x CPU-share normalization) vs \
              {per_node_threaded:.1} B/s/node threaded@64 (more than 2x below)"
+        ));
+    }
+    if per_node_traced * 2.0 < per_node_sharded {
+        return Err(format!(
+            "tracing_overhead_2x: arming the flight recorder collapsed goodput: \
+             {per_node_traced:.1} B/s/node traced vs {per_node_sharded:.1} untraced \
+             (more than 2x below)"
         ));
     }
 
@@ -444,6 +470,8 @@ fn sharded_1k(_smoke: bool, seed: u64) -> Result<Outcome, String> {
             ("per_node_goodput_sharded_1k", per_node_sharded),
             ("per_node_goodput_threaded_64", per_node_threaded),
             ("per_node_ratio_cpu_normalized", normalized_sharded / per_node_threaded),
+            ("per_node_goodput_sharded_1k_traced", per_node_traced),
+            ("tracing_overhead_ratio", per_node_sharded / per_node_traced),
         ],
     })
 }

@@ -31,6 +31,7 @@ mod counters;
 mod histogram;
 mod hop;
 mod loghist;
+mod reactor;
 mod series;
 mod serve;
 mod stripe;
@@ -44,6 +45,7 @@ pub use hop::{HopCounters, HopStats};
 pub use loghist::{
     bucket_bound, HopLatency, LogHistogram, LogHistogramSnapshot, LOG_BUCKETS, MAX_LATENCY_HOPS,
 };
+pub use reactor::{ReactorCounters, ReactorSnapshot};
 pub use series::TimeSeries;
 pub use serve::ServeCounters;
 pub use stripe::{ReplicaCounters, StripeCounters};

@@ -224,6 +224,15 @@ impl LogHistogramSnapshot {
             max: self.max,
         }
     }
+
+    /// Interval view under the counter families' name: what this
+    /// snapshot adds over `earlier`. Same arithmetic as
+    /// [`LogHistogramSnapshot::since`] — provided so histogram samplers
+    /// read like `WireCounters::snapshot_delta` and friends.
+    #[must_use]
+    pub fn snapshot_delta(&self, earlier: &LogHistogramSnapshot) -> LogHistogramSnapshot {
+        self.since(earlier)
+    }
 }
 
 /// Delivery-latency recorder keyed by the number of overlay links the
@@ -275,6 +284,30 @@ impl HopLatency {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.by_hop.iter().all(LogHistogram::is_empty)
+    }
+
+    /// Interval view against a per-hop snapshot taken earlier with
+    /// [`HopLatency::snapshot`]: one `(links_crossed, delta)` pair per
+    /// hop that recorded anything since, ascending. Hops absent from
+    /// `earlier` report their full distribution; hops that recorded
+    /// nothing new are omitted — the same contract interval counter
+    /// families keep with `snapshot_delta`.
+    #[must_use]
+    pub fn snapshot_delta(
+        &self,
+        earlier: &[(usize, LogHistogramSnapshot)],
+    ) -> Vec<(usize, LogHistogramSnapshot)> {
+        self.snapshot()
+            .into_iter()
+            .map(|(hops, now)| {
+                let delta = match earlier.iter().find(|(h, _)| *h == hops) {
+                    Some((_, before)) => now.snapshot_delta(before),
+                    None => now,
+                };
+                (hops, delta)
+            })
+            .filter(|(_, delta)| !delta.is_empty())
+            .collect()
     }
 }
 
@@ -383,6 +416,33 @@ mod tests {
         let delta = a.snapshot().since(&earlier);
         assert_eq!(delta.count(), 1);
         assert_eq!(delta.sum, 7);
+    }
+
+    #[test]
+    fn snapshot_delta_matches_since() {
+        let h = LogHistogram::new();
+        h.record(40);
+        let earlier = h.snapshot();
+        h.record(9_000);
+        let now = h.snapshot();
+        assert_eq!(now.snapshot_delta(&earlier), now.since(&earlier));
+        assert_eq!(now.snapshot_delta(&earlier).count(), 1);
+    }
+
+    #[test]
+    fn hop_latency_snapshot_delta_tracks_new_hops_and_omits_idle_ones() {
+        let lat = HopLatency::new();
+        lat.record(1, 100);
+        lat.record(2, 200);
+        let earlier = lat.snapshot();
+        lat.record(2, 300);
+        lat.record(5, 50); // a hop the earlier snapshot never saw
+        let delta = lat.snapshot_delta(&earlier);
+        let hops: Vec<usize> = delta.iter().map(|(h, _)| *h).collect();
+        assert_eq!(hops, vec![2, 5], "hop 1 recorded nothing new and is omitted");
+        assert_eq!(delta[0].1.count(), 1);
+        assert_eq!(delta[1].1.count(), 1, "unseen hops report their full distribution");
+        assert!(lat.snapshot_delta(&lat.snapshot()).is_empty());
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! Scheduler-level accounting for one reactor shard.
+//!
+//! The sharded runtime multiplexes hundreds of nodes onto a few worker
+//! threads; when a swarm misbehaves the question is no longer "what did
+//! node 417 do" but "what was *shard 2* doing" — was it parked in
+//! `epoll_wait`, grinding through dispatches, or running its timers
+//! late? [`ReactorCounters`] answers that with lock-free atomics the
+//! worker loop bumps in-line and a scrape or watchdog thread reads
+//! concurrently:
+//!
+//! * **poll** — how often the shard polled, how long it waited, how many
+//!   readiness events each poll returned;
+//! * **dispatch** — per-callback latencies split by kind (readable /
+//!   timer / control), which is where a slow state machine shows up;
+//! * **tick lag** — deadline-vs-actual expiry of every timer, the
+//!   direct measure of scheduler overload;
+//! * **queues** — wakeup coalescing, control-queue drains and their
+//!   high-watermark, and the timer-wheel depth after each turn.
+//!
+//! [`ReactorSnapshot`] is the owned plain view with the same
+//! `merge`/`snapshot_delta` algebra as the counter families
+//! ([`crate::WireCounters`], [`crate::HopCounters`]), so swarm-level
+//! rollups and interval scrapes compose the same way.
+
+use crate::loghist::{LogHistogram, LogHistogramSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free scheduler counters for one reactor shard.
+///
+/// Recording methods are called from the shard's worker thread;
+/// [`ReactorCounters::snapshot`] from anywhere. All counters are
+/// monotone except the two gauges ([`wheel depth`](ReactorSnapshot::wheel_depth)
+/// is last-observed, [`nodes`](ReactorSnapshot::nodes) is set once).
+///
+/// ```
+/// use ltnc_metrics::ReactorCounters;
+///
+/// let shard = ReactorCounters::new();
+/// shard.set_nodes(250);
+/// shard.record_poll(120, 3); // waited 120us, 3 events ready
+/// shard.record_dispatch_readable(850); // dispatch took 850ns
+/// shard.record_timer_lag(40); // timer fired 40us past its deadline
+/// shard.record_turn(17); // 17 timers still armed after the turn
+/// let snap = shard.snapshot();
+/// assert_eq!(snap.polls, 1);
+/// assert_eq!(snap.poll_events, 3);
+/// assert_eq!(snap.wheel_depth, 17);
+/// assert_eq!(snap.dispatch_ns.count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ReactorCounters {
+    turns: AtomicU64,
+    polls: AtomicU64,
+    poll_events: AtomicU64,
+    wakeups: AtomicU64,
+    wakeup_rounds: AtomicU64,
+    control_messages: AtomicU64,
+    control_high_watermark: AtomicU64,
+    readable_dispatches: AtomicU64,
+    timer_dispatches: AtomicU64,
+    control_dispatches: AtomicU64,
+    timers_fired: AtomicU64,
+    wheel_depth: AtomicU64,
+    nodes: AtomicU64,
+    poll_wait_us: LogHistogram,
+    dispatch_ns: LogHistogram,
+    tick_lag_us: LogHistogram,
+}
+
+impl ReactorCounters {
+    /// All-zero counters.
+    #[must_use]
+    pub fn new() -> ReactorCounters {
+        ReactorCounters::default()
+    }
+
+    /// Publishes how many nodes the shard schedules (set once at start).
+    pub fn set_nodes(&self, nodes: u64) {
+        self.nodes.store(nodes, Ordering::Relaxed);
+    }
+
+    /// One poll completed: the shard waited `waited_us` microseconds and
+    /// `events` readiness events came back.
+    pub fn record_poll(&self, waited_us: u64, events: u64) {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        self.poll_events.fetch_add(events, Ordering::Relaxed);
+        self.poll_wait_us.record(waited_us);
+    }
+
+    /// The waker drained `coalesced` wake bytes in one round (cross-shard
+    /// sends that collapsed into a single readiness event).
+    pub fn record_wakeups(&self, coalesced: u64) {
+        self.wakeups.fetch_add(coalesced, Ordering::Relaxed);
+        self.wakeup_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The control queue yielded `messages` messages in one drain.
+    /// Returns `true` when this drain set a new high-watermark — the
+    /// caller may want to trace that edge.
+    pub fn record_control_drain(&self, messages: u64) -> bool {
+        self.control_messages.fetch_add(messages, Ordering::Relaxed);
+        self.control_high_watermark.fetch_max(messages, Ordering::Relaxed) < messages
+    }
+
+    /// One readable-socket callback took `ns` nanoseconds.
+    pub fn record_dispatch_readable(&self, ns: u64) {
+        self.readable_dispatches.fetch_add(1, Ordering::Relaxed);
+        self.dispatch_ns.record(ns);
+    }
+
+    /// One timer callback took `ns` nanoseconds.
+    pub fn record_dispatch_timer(&self, ns: u64) {
+        self.timer_dispatches.fetch_add(1, Ordering::Relaxed);
+        self.timers_fired.fetch_add(1, Ordering::Relaxed);
+        self.dispatch_ns.record(ns);
+    }
+
+    /// One control-message callback took `ns` nanoseconds.
+    pub fn record_dispatch_control(&self, ns: u64) {
+        self.control_dispatches.fetch_add(1, Ordering::Relaxed);
+        self.dispatch_ns.record(ns);
+    }
+
+    /// A timer fired `lag_us` microseconds past its deadline.
+    pub fn record_timer_lag(&self, lag_us: u64) {
+        self.tick_lag_us.record(lag_us);
+    }
+
+    /// One loop turn ended with `wheel_depth` timers still armed.
+    pub fn record_turn(&self, wheel_depth: u64) {
+        self.turns.fetch_add(1, Ordering::Relaxed);
+        self.wheel_depth.store(wheel_depth, Ordering::Relaxed);
+    }
+
+    /// An owned, immutable copy of the current counts.
+    #[must_use]
+    pub fn snapshot(&self) -> ReactorSnapshot {
+        ReactorSnapshot {
+            turns: self.turns.load(Ordering::Relaxed),
+            polls: self.polls.load(Ordering::Relaxed),
+            poll_events: self.poll_events.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            wakeup_rounds: self.wakeup_rounds.load(Ordering::Relaxed),
+            control_messages: self.control_messages.load(Ordering::Relaxed),
+            control_high_watermark: self.control_high_watermark.load(Ordering::Relaxed),
+            readable_dispatches: self.readable_dispatches.load(Ordering::Relaxed),
+            timer_dispatches: self.timer_dispatches.load(Ordering::Relaxed),
+            control_dispatches: self.control_dispatches.load(Ordering::Relaxed),
+            timers_fired: self.timers_fired.load(Ordering::Relaxed),
+            wheel_depth: self.wheel_depth.load(Ordering::Relaxed),
+            nodes: self.nodes.load(Ordering::Relaxed),
+            poll_wait_us: self.poll_wait_us.snapshot(),
+            dispatch_ns: self.dispatch_ns.snapshot(),
+            tick_lag_us: self.tick_lag_us.snapshot(),
+        }
+    }
+}
+
+/// An immutable view of a shard's [`ReactorCounters`]: plain counts plus
+/// the three scheduler histograms, with the counter families'
+/// `merge`/`snapshot_delta` algebra so swarm rollups and interval
+/// scrapes compose.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReactorSnapshot {
+    /// Worker-loop turns completed (poll → dispatch → timers).
+    pub turns: u64,
+    /// Times the shard entered its poller.
+    pub polls: u64,
+    /// Readiness events returned across all polls.
+    pub poll_events: u64,
+    /// Wake bytes drained from the loopback waker (each byte one
+    /// cross-shard send that requested a wakeup).
+    pub wakeups: u64,
+    /// Drain rounds in which at least one wake byte arrived — `wakeups /
+    /// wakeup_rounds` is the coalescing factor.
+    pub wakeup_rounds: u64,
+    /// Control messages drained from the shard's queue.
+    pub control_messages: u64,
+    /// Largest single control drain observed (gauge; max survives
+    /// `merge`, interval deltas keep the lifetime value).
+    pub control_high_watermark: u64,
+    /// Readable-socket callbacks dispatched.
+    pub readable_dispatches: u64,
+    /// Timer callbacks dispatched.
+    pub timer_dispatches: u64,
+    /// Control-message callbacks dispatched.
+    pub control_dispatches: u64,
+    /// Timers that expired and were routed to their node.
+    pub timers_fired: u64,
+    /// Timers still armed after the most recent turn (gauge).
+    pub wheel_depth: u64,
+    /// Nodes the shard schedules (gauge, set once at start).
+    pub nodes: u64,
+    /// Time spent waiting in the poller, microseconds per poll.
+    pub poll_wait_us: LogHistogramSnapshot,
+    /// Per-callback dispatch latency, nanoseconds (all kinds merged).
+    pub dispatch_ns: LogHistogramSnapshot,
+    /// Timer lateness: actual expiry minus deadline, microseconds.
+    pub tick_lag_us: LogHistogramSnapshot,
+}
+
+impl ReactorSnapshot {
+    /// All-zero snapshot.
+    #[must_use]
+    pub fn new() -> ReactorSnapshot {
+        ReactorSnapshot::default()
+    }
+
+    /// Folds another shard's snapshot into this one: counters and
+    /// histograms add, gauges take the max (a rollup's "depth" is the
+    /// deepest shard) and `nodes` adds (a rollup schedules the union).
+    pub fn merge(&mut self, other: &ReactorSnapshot) {
+        self.turns += other.turns;
+        self.polls += other.polls;
+        self.poll_events += other.poll_events;
+        self.wakeups += other.wakeups;
+        self.wakeup_rounds += other.wakeup_rounds;
+        self.control_messages += other.control_messages;
+        self.control_high_watermark = self.control_high_watermark.max(other.control_high_watermark);
+        self.readable_dispatches += other.readable_dispatches;
+        self.timer_dispatches += other.timer_dispatches;
+        self.control_dispatches += other.control_dispatches;
+        self.timers_fired += other.timers_fired;
+        self.wheel_depth = self.wheel_depth.max(other.wheel_depth);
+        self.nodes += other.nodes;
+        self.poll_wait_us.merge(&other.poll_wait_us);
+        self.dispatch_ns.merge(&other.dispatch_ns);
+        self.tick_lag_us.merge(&other.tick_lag_us);
+    }
+
+    /// Everything that happened since `earlier`, field by field
+    /// (saturating, like every counter family's `snapshot_delta`).
+    /// Gauges keep their current value: an interval has no meaningful
+    /// "delta wheel depth".
+    #[must_use]
+    pub fn snapshot_delta(&self, earlier: &ReactorSnapshot) -> ReactorSnapshot {
+        ReactorSnapshot {
+            turns: self.turns.saturating_sub(earlier.turns),
+            polls: self.polls.saturating_sub(earlier.polls),
+            poll_events: self.poll_events.saturating_sub(earlier.poll_events),
+            wakeups: self.wakeups.saturating_sub(earlier.wakeups),
+            wakeup_rounds: self.wakeup_rounds.saturating_sub(earlier.wakeup_rounds),
+            control_messages: self.control_messages.saturating_sub(earlier.control_messages),
+            control_high_watermark: self.control_high_watermark,
+            readable_dispatches: self
+                .readable_dispatches
+                .saturating_sub(earlier.readable_dispatches),
+            timer_dispatches: self.timer_dispatches.saturating_sub(earlier.timer_dispatches),
+            control_dispatches: self.control_dispatches.saturating_sub(earlier.control_dispatches),
+            timers_fired: self.timers_fired.saturating_sub(earlier.timers_fired),
+            wheel_depth: self.wheel_depth,
+            nodes: self.nodes,
+            poll_wait_us: self.poll_wait_us.snapshot_delta(&earlier.poll_wait_us),
+            dispatch_ns: self.dispatch_ns.snapshot_delta(&earlier.dispatch_ns),
+            tick_lag_us: self.tick_lag_us.snapshot_delta(&earlier.tick_lag_us),
+        }
+    }
+
+    /// True when nothing has been recorded (gauges ignored).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.turns == 0
+            && self.polls == 0
+            && self.readable_dispatches == 0
+            && self.timer_dispatches == 0
+            && self.control_dispatches == 0
+            && self.wakeup_rounds == 0
+            && self.control_messages == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_lands_in_every_family() {
+        let c = ReactorCounters::new();
+        c.set_nodes(10);
+        c.record_poll(50, 2);
+        c.record_poll(1_000, 0);
+        c.record_wakeups(3);
+        c.record_dispatch_readable(400);
+        c.record_dispatch_timer(900);
+        c.record_dispatch_control(100);
+        c.record_timer_lag(25);
+        c.record_turn(7);
+        let s = c.snapshot();
+        assert_eq!(s.turns, 1);
+        assert_eq!(s.polls, 2);
+        assert_eq!(s.poll_events, 2);
+        assert_eq!(s.wakeups, 3);
+        assert_eq!(s.wakeup_rounds, 1);
+        assert_eq!(s.readable_dispatches, 1);
+        assert_eq!(s.timer_dispatches, 1);
+        assert_eq!(s.control_dispatches, 1);
+        assert_eq!(s.timers_fired, 1);
+        assert_eq!(s.wheel_depth, 7);
+        assert_eq!(s.nodes, 10);
+        assert_eq!(s.poll_wait_us.count(), 2);
+        assert_eq!(s.dispatch_ns.count(), 3);
+        assert_eq!(s.tick_lag_us.max, 25);
+        assert!(!s.is_empty());
+        assert!(ReactorSnapshot::new().is_empty());
+    }
+
+    #[test]
+    fn control_drain_reports_new_watermarks_once() {
+        let c = ReactorCounters::new();
+        assert!(c.record_control_drain(4), "first drain is a new watermark");
+        assert!(!c.record_control_drain(4), "matching the mark is not a new one");
+        assert!(!c.record_control_drain(2));
+        assert!(c.record_control_drain(9));
+        let s = c.snapshot();
+        assert_eq!(s.control_messages, 19);
+        assert_eq!(s.control_high_watermark, 9);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let a = ReactorCounters::new();
+        a.set_nodes(3);
+        a.record_poll(10, 1);
+        a.record_turn(5);
+        let b = ReactorCounters::new();
+        b.set_nodes(4);
+        b.record_poll(20, 2);
+        b.record_poll(30, 0);
+        b.record_turn(9);
+        let mut rollup = a.snapshot();
+        rollup.merge(&b.snapshot());
+        assert_eq!(rollup.polls, 3);
+        assert_eq!(rollup.poll_events, 3);
+        assert_eq!(rollup.turns, 2);
+        assert_eq!(rollup.nodes, 7, "a rollup schedules the union of nodes");
+        assert_eq!(rollup.wheel_depth, 9, "gauges take the deepest shard");
+        assert_eq!(rollup.poll_wait_us.count(), 3);
+    }
+
+    #[test]
+    fn snapshot_delta_diffs_counters_and_keeps_gauges() {
+        let c = ReactorCounters::new();
+        c.set_nodes(2);
+        c.record_poll(10, 1);
+        c.record_turn(3);
+        let earlier = c.snapshot();
+        c.record_poll(20, 4);
+        c.record_dispatch_timer(500);
+        c.record_turn(8);
+        let delta = c.snapshot().snapshot_delta(&earlier);
+        assert_eq!(delta.polls, 1);
+        assert_eq!(delta.poll_events, 4);
+        assert_eq!(delta.turns, 1);
+        assert_eq!(delta.timer_dispatches, 1);
+        assert_eq!(delta.wheel_depth, 8, "gauge keeps its current value");
+        assert_eq!(delta.nodes, 2);
+        assert_eq!(delta.poll_wait_us.count(), 1);
+        assert_eq!(delta.dispatch_ns.count(), 1);
+        // A stale earlier saturates instead of wrapping.
+        assert_eq!(earlier.snapshot_delta(&c.snapshot()).polls, 0);
+    }
+}

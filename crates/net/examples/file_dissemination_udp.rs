@@ -224,6 +224,8 @@ fn main() -> ExitCode {
             faults,
             trace_capacity: None,
             runtime: SwarmRuntime::Threaded,
+            metrics_bind: None,
+            flight_recorder: None,
         };
         match run_localhost_swarm(&config) {
             Ok(report) => {

@@ -63,6 +63,7 @@
 pub mod envelope;
 mod error;
 pub mod faults;
+mod observe;
 pub mod peer;
 mod sharded;
 pub mod stream;
@@ -83,5 +84,6 @@ pub use ltnc_session::{split_object, ObjectManifest, ReceiverSession, SourceSess
 pub use peer::{NodeConfig, NodeOptions, NodeRole, PeerNode, PeerReport};
 pub use stream::FrameReassembler;
 pub use swarm::{
-    run_localhost_swarm, run_wired_swarm, SwarmConfig, SwarmReport, SwarmRuntime, SwarmWiring,
+    run_localhost_swarm, run_wired_swarm, FlightRecorder, SwarmConfig, SwarmReport, SwarmRuntime,
+    SwarmWiring,
 };

@@ -223,13 +223,17 @@ pub struct NodeConfig {
     /// (offers, feedback, pacing moves, fault injections). `None` — the
     /// default, see [`NodeConfig::new`] — makes every hook a no-op.
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Force the per-tick live mirror refresh even without a per-node
+    /// metrics endpoint — set by swarm drivers whose *aggregated*
+    /// endpoint reads every node's [`Shared`] mid-run.
+    pub(crate) publish_live: bool,
 }
 
 impl NodeConfig {
     /// A configuration with no trace sink installed.
     #[must_use]
     pub fn new(session: u64, role: NodeRole, options: NodeOptions) -> NodeConfig {
-        NodeConfig { session, role, options, trace: None }
+        NodeConfig { session, role, options, trace: None, publish_live: false }
     }
 }
 
@@ -296,6 +300,16 @@ pub(crate) struct Shared {
     /// lock-free by the state machine on every payload arrival and read
     /// live by the scrape endpoint mid-run.
     pub(crate) latency: HopLatency,
+    /// Total innovative (rank-increasing) symbols decoded so far, bumped
+    /// on every useful delivery. Always maintained — it is one relaxed
+    /// add — because the sharded runtime's stall watchdog uses it as its
+    /// progress signal even when no metrics endpoint is attached.
+    pub(crate) decoded_rank: AtomicU64,
+    /// Per-generation decoder rank mirror (useful symbols accumulated
+    /// per generation), refreshed once per gossip tick alongside the
+    /// wire mirror — same `publish_live` gate, same cost model. Empty
+    /// until the first refresh (and always, for sources).
+    pub(crate) decoder: Mutex<Vec<u64>>,
 }
 
 impl Shared {
@@ -307,7 +321,15 @@ impl Shared {
             stop: AtomicBool::new(false),
             wire: Mutex::new(WireCounters::new()),
             latency: HopLatency::new(),
+            decoded_rank: AtomicU64::new(0),
+            decoder: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The per-generation rank mirror as last published (empty when the
+    /// node never published, i.e. no live endpoint was attached).
+    pub(crate) fn decoder_ranks(&self) -> Vec<u64> {
+        self.decoder.lock().map(|ranks| ranks.clone()).unwrap_or_default()
     }
 
     /// The published wire counters plus the socket thread's drop count.
@@ -412,6 +434,12 @@ impl PeerNode {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// A handle onto the node's published shared state — what the
+    /// swarm-wide aggregated registry samples.
+    pub(crate) fn shared(node: &PeerNode) -> Arc<Shared> {
+        Arc::clone(&node.shared)
     }
 
     /// Wires the node into the swarm and starts its gossip ticks.
@@ -625,7 +653,7 @@ impl NodeStateMachine {
         shared: Arc<Shared>,
     ) -> NodeStateMachine {
         let tracer = Tracer::from_option(config.trace);
-        let publish_live = config.options.metrics_bind.is_some();
+        let publish_live = config.options.metrics_bind.is_some() || config.publish_live;
         let (params, source, receiver) = match config.role {
             NodeRole::Source { object, params } => {
                 // Completion state for sources is already published by
@@ -768,6 +796,13 @@ impl NodeStateMachine {
         }
         if let Ok(mut wire) = self.shared.wire.lock() {
             *wire = self.wire;
+        }
+        if let Some(receiver) = self.receiver.as_ref() {
+            if let Ok(mut ranks) = self.shared.decoder.lock() {
+                ranks.clear();
+                ranks
+                    .extend((0..self.generation_count).map(|g| receiver.useful_received(g) as u64));
+            }
         }
     }
 
@@ -1007,6 +1042,7 @@ impl NodeStateMachine {
                 };
                 if useful {
                     self.wire.useful_deliveries += 1;
+                    self.shared.decoded_rank.fetch_add(1, Ordering::Relaxed);
                 }
                 self.tracer.emit(|| TraceEvent::PayloadDelivered { generation, useful });
                 if newly_complete {

@@ -31,15 +31,16 @@ use std::time::{Duration, Instant};
 
 use ltnc_reactor::{Cx, Driven, Reactor};
 use ltnc_scheme::SchemeParams;
-use ltnc_telemetry::{RingSink, ScrapeServer, Tracer};
+use ltnc_telemetry::{RingSink, ScrapeOptions, ScrapeServer, Tracer};
 
 use crate::faults::{DatagramFaults, FaultySocket};
 use crate::generation::split_object;
+use crate::observe::{swarm_registry, FlightState, SwarmTelemetry};
 use crate::peer::{
     publish_source_complete, spawn_scrape, NodeConfig, NodeOptions, NodeRole, NodeStateMachine,
     PeerReport, Shared,
 };
-use crate::swarm::{assemble_report, SwarmConfig, SwarmReport, SwarmWiring};
+use crate::swarm::{assemble_report, FlightRecorder, SwarmConfig, SwarmReport, SwarmWiring};
 
 /// Timer tag of the recurring gossip tick.
 const TICK_TAG: u64 = 0;
@@ -189,6 +190,9 @@ pub(crate) fn run_sharded(
         let mut node_config =
             NodeConfig::new(config.session, role, NodeOptions { seed, ..config.options });
         node_config.trace = sink.map(|sink| sink as _);
+        // The aggregated endpoint reads every node's live mirror, so
+        // the per-tick refresh must run even without per-node endpoints.
+        node_config.publish_live = config.metrics_bind.is_some();
 
         let tracer = Tracer::from_option(node_config.trace.clone());
         // An early `?` here drops the nodes built so far; their
@@ -222,16 +226,106 @@ pub(crate) fn run_sharded(
         node.sm.as_mut().expect("state machine present before start").set_peers(targets);
     }
 
-    let started = Instant::now();
-    let reactor = Reactor::start(nodes, workers)?;
+    // Instrumentation is opt-in: with neither the aggregated endpoint
+    // nor the flight recorder requested, no observer is installed and
+    // the reactor's hot loops take zero extra clock readings.
+    let telemetry =
+        (config.metrics_bind.is_some() || config.flight_recorder.is_some()).then(|| {
+            let capacity = config.flight_recorder.as_ref().map(|recorder| recorder.capacity);
+            let telemetry = Arc::new(SwarmTelemetry::new(workers, capacity));
+            telemetry.set_node_counts(node_count);
+            telemetry
+        });
 
+    let started = Instant::now();
+    let flight: Option<(FlightRecorder, FlightState)> =
+        config.flight_recorder.as_ref().zip(telemetry.as_ref()).map(|(recorder, telemetry)| {
+            let state = FlightState {
+                started,
+                telemetry: Arc::clone(telemetry),
+                completion: completion.clone(),
+                stall_window: recorder.stall_window,
+            };
+            (recorder.clone(), state)
+        });
+
+    // The swarm-wide endpoint goes up before the reactor so an early
+    // start failure tears it down by drop; sampling an idle registry is
+    // harmless.
+    let scrape = match config.metrics_bind {
+        Some(addr) => {
+            let registry = Arc::new(swarm_registry(
+                &completion,
+                manifest.generation_count(),
+                telemetry.as_deref(),
+            ));
+            let spawned = match &flight {
+                Some((_, state)) => {
+                    let state = state.clone();
+                    ScrapeServer::spawn_with_flight(
+                        addr,
+                        registry,
+                        ScrapeOptions::default(),
+                        Arc::new(move || state.dump("demand", None)),
+                    )
+                }
+                None => ScrapeServer::spawn(addr, registry, ScrapeOptions::default()),
+            };
+            Some(spawned?)
+        }
+        None => None,
+    };
+
+    let observer = telemetry.clone().map(|telemetry| telemetry as _);
+    let reactor = Reactor::start_observed(nodes, workers, observer)?;
+
+    // Completion poll doubling as the stall watchdog: the progress
+    // signal is monotone (innovative symbols decoded + generations
+    // completed, swarm-wide), so "unchanged for a whole stall window"
+    // means no receiver advanced at all — cut a post-mortem once per
+    // stall episode, and re-arm if progress ever resumes.
+    let mut flight_dump: Option<String> = None;
+    let progress_signal = |completion: &[Arc<Shared>]| -> u64 {
+        completion[1..]
+            .iter()
+            .map(|shared| {
+                shared.decoded_rank.load(Ordering::Relaxed)
+                    + shared.complete_generations.load(Ordering::Acquire) as u64
+            })
+            .sum()
+    };
+    let mut last_progress = progress_signal(&completion);
+    let mut last_change = Instant::now();
+    let mut stalled = false;
     let deadline = started + config.timeout;
     while completion[1..].iter().any(|shared| !shared.complete.load(Ordering::Acquire))
         && Instant::now() < deadline
     {
         thread::sleep(Duration::from_millis(5));
+        let Some((recorder, state)) = &flight else { continue };
+        let signal = progress_signal(&completion);
+        if signal != last_progress {
+            last_progress = signal;
+            last_change = Instant::now();
+            stalled = false;
+        } else if !stalled && last_change.elapsed() >= recorder.stall_window {
+            stalled = true;
+            let idle = last_change.elapsed();
+            state.telemetry.note_stall(idle);
+            let dump = state.dump("stall", Some(idle));
+            write_dump(recorder, &dump);
+            flight_dump = Some(dump);
+        }
     }
     let elapsed = started.elapsed();
+
+    if completion[1..].iter().any(|shared| !shared.complete.load(Ordering::Acquire)) {
+        if let Some((recorder, state)) = &flight {
+            let dump = state.dump("shutdown_timeout", None);
+            write_dump(recorder, &dump);
+            flight_dump = Some(dump);
+        }
+    }
 
     // Shutdown returns reports in original node order; pair each with
     // its trace sink, exactly like the threaded teardown.
@@ -246,6 +340,23 @@ pub(crate) fn run_sharded(
             report
         })
         .collect();
+    if let Some(scrape) = scrape {
+        scrape.shutdown();
+    }
 
-    Ok(assemble_report(config, manifest.generation_count(), elapsed, node_addrs, reports))
+    let mut report =
+        assemble_report(config, manifest.generation_count(), elapsed, node_addrs, reports);
+    if let Some(telemetry) = &telemetry {
+        report.reactor = telemetry.snapshots();
+    }
+    report.flight_dump = flight_dump;
+    Ok(report)
+}
+
+/// Best-effort write of a flight dump to the recorder's configured path
+/// (the dump also rides the report either way).
+fn write_dump(recorder: &FlightRecorder, dump: &str) {
+    if let Some(path) = &recorder.dump_path {
+        let _ = std::fs::write(path, dump);
+    }
 }

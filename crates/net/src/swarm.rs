@@ -25,16 +25,18 @@
 
 use std::io;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use ltnc_metrics::WireCounters;
+use ltnc_metrics::{ReactorSnapshot, WireCounters};
 use ltnc_scheme::{SchemeKind, SchemeParams};
-use ltnc_telemetry::RingSink;
+use ltnc_telemetry::{RingSink, ScrapeOptions, ScrapeServer};
 
 use crate::faults::{DatagramFaultCounters, DatagramFaultPlan, DatagramFaults};
 use crate::generation::split_object;
+use crate::observe::swarm_registry;
 use crate::peer::{NodeConfig, NodeOptions, NodeRole, PeerNode, PeerReport};
 
 /// Parameters of one localhost dissemination run.
@@ -70,6 +72,46 @@ pub struct SwarmConfig {
     /// protocol state machine, harness, fault plans and counters; see
     /// [`SwarmRuntime`] for the trade-off.
     pub runtime: SwarmRuntime,
+    /// When set, the whole swarm serves *one* aggregated scrape endpoint
+    /// bound here (`/metrics`, `/metrics.json`, and `/flight` when the
+    /// flight recorder is on): rolled-up wire counters, merged
+    /// hop-latency histograms, decoder-progress gauges, and — on the
+    /// sharded runtime — per-shard `reactor` scheduler families. The
+    /// scalable alternative to a [`NodeOptions::metrics_bind`] listener
+    /// per node. Port 0 picks a free port. `None` (the default) serves
+    /// nothing.
+    pub metrics_bind: Option<SocketAddr>,
+    /// When set, the sharded runtime runs a stall watchdog and keeps a
+    /// bounded per-shard flight ring of scheduler trace events, dumping
+    /// a JSON post-mortem on stall, shutdown timeout, or on demand (the
+    /// endpoint's `/flight` route). `None` (the default) records
+    /// nothing. Ignored by the threaded runtime, which has no shards to
+    /// watch.
+    pub flight_recorder: Option<FlightRecorder>,
+}
+
+/// Configuration of the sharded runtime's flight recorder
+/// ([`SwarmConfig::flight_recorder`]).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    /// Capacity of each shard's bounded event ring (oldest events are
+    /// dropped first; the drop count is part of every dump).
+    pub capacity: usize,
+    /// How long the swarm may go without any decoding progress (no
+    /// receiver gaining rank or completing a generation) before the
+    /// watchdog declares a stall and cuts a dump. Checked on the
+    /// driver's completion-poll cadence.
+    pub stall_window: Duration,
+    /// When set, stall and shutdown-timeout dumps are also written to
+    /// this file (best effort — I/O errors are swallowed; the dump is
+    /// always in [`SwarmReport::flight_dump`] regardless).
+    pub dump_path: Option<PathBuf>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder { capacity: 256, stall_window: Duration::from_secs(10), dump_path: None }
+    }
 }
 
 /// Which scheduler runs a swarm's node state machines.
@@ -109,6 +151,8 @@ impl SwarmConfig {
             faults: None,
             trace_capacity: None,
             runtime: SwarmRuntime::Threaded,
+            metrics_bind: None,
+            flight_recorder: None,
         }
     }
 }
@@ -199,6 +243,17 @@ pub struct SwarmReport {
     /// Per-peer reports (source excluded; swarm node `i` is
     /// `peer_reports[i - 1]`).
     pub peer_reports: Vec<PeerReport>,
+    /// Final per-shard reactor scheduler snapshots, shard-indexed —
+    /// populated only by the sharded runtime when
+    /// [`SwarmConfig::metrics_bind`] or
+    /// [`SwarmConfig::flight_recorder`] asked for instrumentation
+    /// (empty otherwise: the observer seam stays uninstalled and the
+    /// hot loops take no clock readings).
+    pub reactor: Vec<ReactorSnapshot>,
+    /// The last flight-recorder post-mortem the run cut (stall or
+    /// shutdown timeout), if any — the same JSON document a live
+    /// `/flight` scrape serves.
+    pub flight_dump: Option<String>,
 }
 
 impl SwarmReport {
@@ -284,6 +339,9 @@ pub fn run_wired_swarm(config: &SwarmConfig, wiring: &SwarmWiring) -> io::Result
         let mut node_config =
             NodeConfig::new(config.session, role, NodeOptions { seed, ..config.options });
         node_config.trace = sink.map(|sink| sink as _);
+        // The aggregated endpoint reads every node's live mirror, so
+        // the per-tick refresh must run even without per-node endpoints.
+        node_config.publish_live = config.metrics_bind.is_some();
         let spawned = PeerNode::spawn_faulty(bind, node_config, node_faults(i as u64));
         match spawned {
             Ok(node) => nodes.push(node),
@@ -313,12 +371,34 @@ pub fn run_wired_swarm(config: &SwarmConfig, wiring: &SwarmWiring) -> io::Result
         node.set_peers(targets);
     }
 
+    // The swarm-wide aggregated endpoint (the sharded runtime spawns its
+    // own richer one, with reactor families and the flight route).
+    let scrape = match config.metrics_bind {
+        Some(addr) => {
+            let completion: Vec<_> = nodes.iter().map(PeerNode::shared).collect();
+            let registry = Arc::new(swarm_registry(&completion, manifest.generation_count(), None));
+            match ScrapeServer::spawn(addr, registry, ScrapeOptions::default()) {
+                Ok(scrape) => Some(scrape),
+                Err(e) => {
+                    for node in nodes {
+                        let _ = node.shutdown();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        None => None,
+    };
+
     let started = Instant::now();
     let deadline = started + config.timeout;
     while nodes[1..].iter().any(|p| !p.is_complete()) && Instant::now() < deadline {
         thread::sleep(Duration::from_millis(5));
     }
     let elapsed = started.elapsed();
+    if let Some(scrape) = scrape {
+        scrape.shutdown();
+    }
 
     let reports = nodes
         .into_iter()
@@ -376,6 +456,8 @@ pub(crate) fn assemble_report(
         total_faults,
         node_addrs,
         peer_reports,
+        reactor: Vec::new(),
+        flight_dump: None,
     }
 }
 

@@ -1,0 +1,159 @@
+//! The swarm observability plane, end to end: a sharded lossy swarm
+//! serving one aggregated scrape endpoint verified *mid-run*, and the
+//! stall watchdog cutting a flight-recorder post-mortem when a wedged
+//! node stops all progress.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use ltnc_net::faults::{DatagramFaultPlan, DatagramFaults};
+use ltnc_net::swarm::{
+    run_wired_swarm, FlightRecorder, SwarmConfig, SwarmReport, SwarmRuntime, SwarmWiring,
+};
+use ltnc_scheme::SchemeKind;
+use ltnc_telemetry::json::JsonValue;
+
+fn pseudo_file(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+/// Reserves an ephemeral localhost port: bind, note, release. The tiny
+/// reuse race is acceptable in a test.
+fn reserve_port() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    listener.local_addr().expect("local addr")
+}
+
+/// Minimal HTTP/1.0 GET against the scrape endpoint; `None` when the
+/// endpoint is no longer accepting (the run is over).
+fn http_get(addr: SocketAddr, path: &str) -> Option<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let body = response.split_once("\r\n\r\n")?.1;
+    Some(body.to_string())
+}
+
+/// Sum of one metric over every label combination in a Prometheus page.
+fn metric_sum(page: &str, name: &str) -> u64 {
+    page.lines()
+        .filter(|line| {
+            line.starts_with(name)
+                && matches!(line.as_bytes().get(name.len()), Some(b' ') | Some(b'{'))
+        })
+        .filter_map(|line| line.rsplit(' ').next())
+        .filter_map(|value| value.parse::<u64>().ok())
+        .sum()
+}
+
+#[test]
+fn sharded_swarm_serves_one_aggregated_endpoint_mid_run() {
+    let addr = reserve_port();
+    let mut config = SwarmConfig::quick(SchemeKind::Ltnc, pseudo_file(16 * 1024, 0x0B5E_0EE5));
+    config.peers = 6;
+    config.code_length = 16;
+    config.payload_size = 32;
+    config.timeout = Duration::from_secs(60);
+    config.runtime = SwarmRuntime::Sharded { workers: 3 };
+    config.metrics_bind = Some(addr);
+    config.faults = Some(DatagramFaults::inbound(DatagramFaultPlan::clean(0x10af).drop_rate(0.15)));
+
+    let swarm = thread::spawn(move || run_wired_swarm(&config, &SwarmWiring::full_mesh(6)));
+
+    // Scrape until the endpoint goes down with the run; every page must
+    // carry reactor samples, and the scheduler counters must be
+    // monotone scrape over scrape.
+    let mut turns_seen: Vec<u64> = Vec::new();
+    let mut saw_decoder = false;
+    let mut saw_wire = false;
+    for _ in 0..600 {
+        let Some(page) = http_get(addr, "/metrics") else {
+            if swarm.is_finished() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(25));
+            continue;
+        };
+        assert!(
+            page.contains("ltnc_reactor_turns"),
+            "mid-run page must carry reactor samples:\n{page}"
+        );
+        turns_seen.push(metric_sum(&page, "ltnc_reactor_turns"));
+        saw_decoder |= page.contains("ltnc_decoder_nodes");
+        saw_wire |= page.contains("ltnc_wire_datagrams_sent");
+        thread::sleep(Duration::from_millis(25));
+    }
+
+    let report = swarm.join().expect("swarm thread").expect("swarm runs");
+    assert!(report.converged && report.bit_exact, "lossy sharded swarm converged: {report:?}");
+    assert!(turns_seen.len() >= 2, "needed at least two mid-run scrapes, got {turns_seen:?}");
+    assert!(turns_seen.windows(2).all(|w| w[0] <= w[1]), "non-monotone turns: {turns_seen:?}");
+    assert!(*turns_seen.last().unwrap() > 0, "shards never turned: {turns_seen:?}");
+    assert!(saw_decoder, "decoder progress family missing from every scrape");
+    assert!(saw_wire, "rolled-up wire family missing from every scrape");
+
+    // The run's final reactor rollup mirrors what the endpoint served.
+    assert_eq!(report.reactor.len(), 3, "one snapshot per shard");
+    let total_turns: u64 = report.reactor.iter().map(|s| s.turns).sum();
+    assert!(total_turns >= *turns_seen.last().unwrap(), "report rollup behind last scrape");
+    assert_eq!(report.reactor.iter().map(|s| s.nodes).sum::<u64>(), 7, "all nodes partitioned");
+}
+
+/// Wedges one peer (every inbound link drops 100%) so swarm-wide
+/// decoding progress flatlines once the healthy peers finish, and
+/// asserts the watchdog cuts a parseable post-mortem that carries the
+/// `stall_detected` mark.
+#[test]
+fn watchdog_dumps_a_flight_recording_when_a_node_stalls() {
+    let peers = 3;
+    let victim = peers; // highest-indexed peer
+    let mut config = SwarmConfig::quick(SchemeKind::Rlnc, pseudo_file(900, 0xDEAD));
+    config.peers = peers;
+    config.code_length = 8;
+    config.payload_size = 16;
+    config.timeout = Duration::from_secs(4);
+    config.runtime = SwarmRuntime::Sharded { workers: 2 };
+    config.flight_recorder = Some(FlightRecorder {
+        capacity: 64,
+        stall_window: Duration::from_millis(400),
+        dump_path: None,
+    });
+
+    let mut wiring = SwarmWiring::full_mesh(peers);
+    for from in 0..=peers {
+        if from != victim {
+            wiring.link_faults.push((from, victim, DatagramFaultPlan::clean(9).drop_rate(1.0)));
+        }
+    }
+
+    let report: SwarmReport = run_wired_swarm(&config, &wiring).expect("swarm runs");
+    assert!(!report.converged, "the wedged peer must not converge");
+    assert_eq!(report.peers_complete, peers - 1, "healthy peers finish");
+
+    let dump = report.flight_dump.as_deref().expect("watchdog cut a dump");
+    assert!(dump.contains("stall_detected"), "stall mark missing:\n{dump}");
+    let doc = JsonValue::parse(dump).expect("dump is valid JSON");
+    assert_eq!(doc.get("kind").and_then(JsonValue::as_str), Some("flight_recorder"));
+    let reason = doc.get("reason").and_then(JsonValue::as_str).expect("reason");
+    assert!(reason == "stall" || reason == "shutdown_timeout", "unexpected reason {reason:?}");
+    let shards = doc.get("shards").and_then(JsonValue::as_array).expect("shards");
+    assert_eq!(shards.len(), 2);
+    assert!(
+        shards.iter().all(|s| s.get("turns").and_then(JsonValue::as_i64).unwrap_or(0) > 0),
+        "every shard kept turning:\n{dump}"
+    );
+    let stuck = doc.get("stalled_nodes").and_then(JsonValue::as_array).expect("stalled nodes");
+    assert_eq!(stuck.len(), 1, "exactly the wedged peer is stuck:\n{dump}");
+    assert_eq!(stuck[0].get("node").and_then(JsonValue::as_i64), Some(victim as i64));
+    assert_eq!(stuck[0].get("decoded_rank").and_then(JsonValue::as_i64), Some(0));
+}

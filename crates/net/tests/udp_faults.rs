@@ -55,6 +55,8 @@ fn lossy_config(scheme: SchemeKind, object_len: usize) -> SwarmConfig {
         faults: Some(lossy_links(fault_seed())),
         trace_capacity: None,
         runtime: SwarmRuntime::Threaded,
+        metrics_bind: None,
+        flight_recorder: None,
     }
 }
 
@@ -194,6 +196,8 @@ fn stress_swarm_survives_heavy_loss_reordering_and_delay() {
             faults: Some(faults),
             trace_capacity: None,
             runtime: SwarmRuntime::Threaded,
+            metrics_bind: None,
+            flight_recorder: None,
         };
         let report = run_localhost_swarm(&config).expect("swarm should start");
         assert!(

@@ -16,7 +16,11 @@
 //! * [`Reactor`] / [`Driven`] — the sharded scheduler: nodes are
 //!   partitioned round-robin across worker threads and driven through
 //!   poll/timer/control callbacks, with a graceful shutdown sweep that
-//!   drains in-flight datagrams before collecting outputs.
+//!   drains in-flight datagrams before collecting outputs;
+//! * [`ShardObserver`] — the instrumentation seam: a dependency-free
+//!   hook trait the worker loops report scheduler events through (poll
+//!   waits, dispatch latencies, timer lag, queue drains), so embedding
+//!   crates can keep histograms without this crate owning any.
 //!
 //! The crate is deliberately protocol-agnostic: `ltnc-net` ports its
 //! `PeerNode` onto [`Driven`], but anything with a nonblocking
@@ -25,11 +29,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod observe;
 mod poll;
 mod shard;
 mod timer;
 mod wake;
 
+pub use observe::{Dispatch, ShardObserver};
 pub use poll::{Event, Poller};
 pub use shard::{Cx, Driven, Reactor};
 pub use timer::{TimerId, TimerWheel};

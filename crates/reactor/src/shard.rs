@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::observe::{Dispatch, ShardObserver};
 use crate::poll::{Event, Poller, MAX_WAIT};
 use crate::timer::{TimerId, TimerWheel};
 use crate::wake::Waker;
@@ -152,6 +153,29 @@ impl<D: Driven> Reactor<D> {
     ///
     /// Panics when `workers` is zero.
     pub fn start(nodes: Vec<D>, workers: usize) -> io::Result<Reactor<D>> {
+        Reactor::start_observed(nodes, workers, None)
+    }
+
+    /// [`Reactor::start`] with an instrumentation observer installed:
+    /// every worker reports its scheduler-level events (poll waits,
+    /// dispatch latencies, timer lag, queue drains) to `observer`, which
+    /// is shared by all shards and called with the worker index. Passing
+    /// `None` is exactly [`Reactor::start`] — the loop takes no extra
+    /// clock readings when nobody listens.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller/waker creation and descriptor registration
+    /// failures; no threads are left running on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    pub fn start_observed(
+        nodes: Vec<D>,
+        workers: usize,
+        observer: Option<Arc<dyn ShardObserver>>,
+    ) -> io::Result<Reactor<D>> {
         assert!(workers > 0, "a reactor needs at least one worker");
 
         // Partition round-robin: global index g -> worker g % workers,
@@ -179,9 +203,12 @@ impl<D: Driven> Reactor<D> {
         for (index, (poller, waker, shard)) in prepared.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel::<WorkerMsg<D::Control>>();
             let worker_waker = Arc::clone(&waker);
+            let worker_observer = observer.clone();
             let join = std::thread::Builder::new()
                 .name(format!("ltnc-reactor-{index}"))
-                .spawn(move || worker_loop(poller, worker_waker, shard, &rx))
+                .spawn(move || {
+                    worker_loop(poller, worker_waker, shard, &rx, index, worker_observer)
+                })
                 .expect("spawn reactor worker");
             handles.push(WorkerHandle { tx, waker, join });
         }
@@ -241,12 +268,16 @@ impl<D: Driven> Reactor<D> {
 }
 
 /// One worker's readiness loop; returns the finish outputs of its shard
-/// in local order.
+/// in local order. `shard` is the worker index reported to `observer`;
+/// with no observer installed the loop takes no instrumentation clock
+/// readings at all.
 fn worker_loop<D: Driven>(
     poller: Poller,
     waker: Arc<Waker>,
     mut nodes: Vec<D>,
     control: &mpsc::Receiver<WorkerMsg<D::Control>>,
+    shard: usize,
+    observer: Option<Arc<dyn ShardObserver>>,
 ) -> Vec<D::Output> {
     let mut wheel = TimerWheel::new(WHEEL_GRANULARITY, WHEEL_SLOTS, Instant::now());
     let mut routes: HashMap<TimerId, (usize, u64)> = HashMap::new();
@@ -271,6 +302,7 @@ fn worker_loop<D: Driven>(
         // Drain the control queue every iteration — not only after a
         // waker event — so a control message racing a timer-bound wait
         // is never delayed by a full poll cycle.
+        let mut drained: usize = 0;
         loop {
             match control.try_recv() {
                 Ok(WorkerMsg::Node(local, msg)) => {
@@ -282,7 +314,12 @@ fn worker_loop<D: Driven>(
                         routes: &mut routes,
                         scratch: &mut scratch,
                     };
+                    drained += 1;
+                    let timed = observer.as_ref().map(|_| Instant::now());
                     nodes[local].on_control(msg, &mut cx);
+                    if let (Some(obs), Some(started)) = (&observer, timed) {
+                        obs.dispatched(shard, Dispatch::Control, started.elapsed());
+                    }
                 }
                 Ok(WorkerMsg::Stop) => {
                     stop = true;
@@ -291,6 +328,9 @@ fn worker_loop<D: Driven>(
                 Err(mpsc::TryRecvError::Empty | mpsc::TryRecvError::Disconnected) => break,
             }
         }
+        if let Some(obs) = observer.as_ref().filter(|_| drained > 0) {
+            obs.control_drained(shard, drained);
+        }
         if stop {
             break;
         }
@@ -298,12 +338,19 @@ fn worker_loop<D: Driven>(
         let timeout = wheel
             .next_deadline()
             .map_or(MAX_WAIT, |at| at.saturating_duration_since(Instant::now()));
+        let poll_started = observer.as_ref().map(|_| Instant::now());
         poller.wait(&mut events, Some(timeout)).expect("reactor poll failed");
 
         let now = Instant::now();
+        if let (Some(obs), Some(started)) = (&observer, poll_started) {
+            obs.poll_completed(shard, now.saturating_duration_since(started), events.len());
+        }
         for event in &events {
             if event.token == WAKER_TOKEN {
-                waker.drain();
+                let coalesced = waker.drain();
+                if let Some(obs) = &observer {
+                    obs.wakeups_drained(shard, coalesced);
+                }
                 continue;
             }
             let local = usize::try_from(event.token).expect("node token fits usize");
@@ -317,11 +364,18 @@ fn worker_loop<D: Driven>(
                 routes: &mut routes,
                 scratch: &mut scratch,
             };
+            let timed = observer.as_ref().map(|_| Instant::now());
             nodes[local].on_readable(&mut cx);
+            if let (Some(obs), Some(started)) = (&observer, timed) {
+                obs.dispatched(shard, Dispatch::Readable, started.elapsed());
+            }
         }
 
-        for (id, _deadline) in wheel.poll_expired(now) {
+        for (id, deadline) in wheel.poll_expired(now) {
             let Some((local, tag)) = routes.remove(&id) else { continue };
+            if let Some(obs) = &observer {
+                obs.timer_lag(shard, now.saturating_duration_since(deadline));
+            }
             let mut cx = Cx {
                 now,
                 node: local,
@@ -329,7 +383,14 @@ fn worker_loop<D: Driven>(
                 routes: &mut routes,
                 scratch: &mut scratch,
             };
+            let timed = observer.as_ref().map(|_| Instant::now());
             nodes[local].on_timer(tag, &mut cx);
+            if let (Some(obs), Some(started)) = (&observer, timed) {
+                obs.dispatched(shard, Dispatch::Timer, started.elapsed());
+            }
+        }
+        if let Some(obs) = &observer {
+            obs.turn_completed(shard, wheel.len());
         }
     }
 

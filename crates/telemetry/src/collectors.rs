@@ -1,6 +1,8 @@
 //! Adapters from the workspace's counter structs to registry samples.
 
-use ltnc_metrics::{HopCounters, HopLatency, ServeCounters, StripeCounters, WireCounters};
+use ltnc_metrics::{
+    HopCounters, HopLatency, ReactorSnapshot, ServeCounters, StripeCounters, WireCounters,
+};
 
 use crate::registry::{HistogramSample, Sample};
 
@@ -109,6 +111,45 @@ pub fn hop_latency_histograms(latency: &HopLatency) -> Vec<HistogramSample> {
     samples
 }
 
+/// Samples the scalar fields of a [`ReactorSnapshot`] (family
+/// `reactor`; the per-shard label is the registration's job).
+#[must_use]
+pub fn reactor_samples(s: &ReactorSnapshot) -> Vec<Sample> {
+    vec![
+        Sample::plain("turns", s.turns),
+        Sample::plain("polls", s.polls),
+        Sample::plain("poll_events", s.poll_events),
+        Sample::plain("wakeups", s.wakeups),
+        Sample::plain("wakeup_rounds", s.wakeup_rounds),
+        Sample::plain("control_messages", s.control_messages),
+        Sample::plain("control_high_watermark", s.control_high_watermark),
+        Sample::plain("readable_dispatches", s.readable_dispatches),
+        Sample::plain("timer_dispatches", s.timer_dispatches),
+        Sample::plain("control_dispatches", s.control_dispatches),
+        Sample::plain("timers_fired", s.timers_fired),
+        Sample::plain("wheel_depth", s.wheel_depth),
+        Sample::plain("nodes", s.nodes),
+    ]
+}
+
+/// Samples a [`ReactorSnapshot`]'s three scheduler histograms —
+/// poll-wait, dispatch latency and tick lag (family `reactor`). Empty
+/// histograms are omitted, matching [`hop_latency_histograms`].
+#[must_use]
+pub fn reactor_histograms(s: &ReactorSnapshot) -> Vec<HistogramSample> {
+    let mut samples = Vec::new();
+    if !s.poll_wait_us.is_empty() {
+        samples.push(HistogramSample::plain("poll_wait_us", s.poll_wait_us.clone()));
+    }
+    if !s.dispatch_ns.is_empty() {
+        samples.push(HistogramSample::plain("dispatch_ns", s.dispatch_ns.clone()));
+    }
+    if !s.tick_lag_us.is_empty() {
+        samples.push(HistogramSample::plain("tick_lag_us", s.tick_lag_us.clone()));
+    }
+    samples
+}
+
 #[cfg(test)]
 mod tests {
     use ltnc_metrics::{HopStats, ReplicaCounters};
@@ -164,6 +205,31 @@ mod tests {
         assert!(samples
             .iter()
             .any(|s| s.labels == vec![("hops", "3".to_string())] && s.snapshot.max == 700));
+    }
+
+    #[test]
+    fn reactor_samples_cover_the_scalar_fields() {
+        let mut s = ReactorSnapshot::new();
+        s.turns = 4;
+        s.wheel_depth = 11;
+        s.nodes = 250;
+        let samples = reactor_samples(&s);
+        assert_eq!(samples.len(), 13);
+        assert!(samples.iter().any(|x| x.name == "turns" && x.value == 4));
+        assert!(samples.iter().any(|x| x.name == "wheel_depth" && x.value == 11));
+        assert!(samples.iter().any(|x| x.name == "nodes" && x.value == 250));
+    }
+
+    #[test]
+    fn reactor_histograms_omit_empty_families() {
+        let counters = ltnc_metrics::ReactorCounters::new();
+        assert!(reactor_histograms(&counters.snapshot()).is_empty());
+        counters.record_poll(120, 1);
+        counters.record_timer_lag(40);
+        let samples = reactor_histograms(&counters.snapshot());
+        let names: Vec<&str> = samples.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["poll_wait_us", "tick_lag_us"], "dispatch_ns stays empty");
+        assert_eq!(samples[0].snapshot.count(), 1);
     }
 
     #[test]

@@ -39,11 +39,12 @@ mod scrape;
 mod trace;
 
 pub use collectors::{
-    hop_latency_histograms, hop_samples, serve_samples, stripe_samples, wire_samples,
+    hop_latency_histograms, hop_samples, reactor_histograms, reactor_samples, serve_samples,
+    stripe_samples, wire_samples,
 };
 pub use registry::{
     Collector, FamilySnapshot, HistogramCollector, HistogramSample, MetricsRegistry,
     MetricsSnapshot, Sample,
 };
-pub use scrape::{ScrapeOptions, ScrapeServer};
+pub use scrape::{FlightHandler, ScrapeOptions, ScrapeServer};
 pub use trace::{FaultKind, RingSink, TimedEvent, TraceEvent, TraceSink, Tracer};

@@ -47,6 +47,11 @@ impl Default for ScrapeOptions {
     }
 }
 
+/// Builds the on-demand flight-recorder document served at `/flight`
+/// (see [`ScrapeServer::spawn_with_flight`]). Called on the listener
+/// thread per request; must be cheap and non-blocking.
+pub type FlightHandler = dyn Fn() -> String + Send + Sync;
+
 /// A thread-per-listener TCP endpoint serving metric snapshots.
 ///
 /// Speaks just enough HTTP/1.0 for `curl` and a Prometheus scraper:
@@ -54,6 +59,9 @@ impl Default for ScrapeOptions {
 /// * `GET /metrics` — Prometheus text exposition (cumulative values),
 /// * `GET /metrics.json` — the same snapshot as a JSON document,
 /// * `GET /healthz` — cheap liveness probe (`200 ok`, no snapshot taken),
+/// * `GET /flight` — the live flight-recorder dump, when a
+///   [`FlightHandler`] was installed ([`ScrapeServer::spawn_with_flight`]);
+///   `404` otherwise,
 /// * anything else — `404`; malformed or oversized requests — `400`.
 ///
 /// One dedicated OS thread accepts and serves connections sequentially;
@@ -90,6 +98,28 @@ impl ScrapeServer {
         registry: Arc<MetricsRegistry>,
         options: ScrapeOptions,
     ) -> std::io::Result<ScrapeServer> {
+        ScrapeServer::spawn_inner(addr, registry, options, None)
+    }
+
+    /// [`ScrapeServer::spawn`] with a flight-recorder handler installed:
+    /// `GET /flight` answers with whatever JSON document `flight`
+    /// renders at request time (an on-demand post-mortem of a live
+    /// system). Without this constructor the route is a `404`.
+    pub fn spawn_with_flight(
+        addr: SocketAddr,
+        registry: Arc<MetricsRegistry>,
+        options: ScrapeOptions,
+        flight: Arc<FlightHandler>,
+    ) -> std::io::Result<ScrapeServer> {
+        ScrapeServer::spawn_inner(addr, registry, options, Some(flight))
+    }
+
+    fn spawn_inner(
+        addr: SocketAddr,
+        registry: Arc<MetricsRegistry>,
+        options: ScrapeOptions,
+        flight: Option<Arc<FlightHandler>>,
+    ) -> std::io::Result<ScrapeServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         // Nonblocking accept so the thread notices `stop` promptly.
@@ -100,7 +130,9 @@ impl ScrapeServer {
             std::thread::Builder::new().name("ltnc-scrape".to_string()).spawn(move || {
                 while !stop_flag.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _)) => serve_client(stream, &registry, &options),
+                        Ok((stream, _)) => {
+                            serve_client(stream, &registry, &options, flight.as_deref());
+                        }
                         Err(e) if e.kind() == ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(10));
                         }
@@ -139,7 +171,12 @@ impl Drop for ScrapeServer {
 /// Reads one request head within the deadlines and answers it. All
 /// errors are per-connection: the listener thread survives anything a
 /// client does.
-fn serve_client(mut stream: TcpStream, registry: &MetricsRegistry, options: &ScrapeOptions) {
+fn serve_client(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    options: &ScrapeOptions,
+    flight: Option<&FlightHandler>,
+) {
     // Per-read timeout, bounded overall by the deadline loop below.
     let _ = stream.set_read_timeout(Some(options.read_deadline.max(Duration::from_millis(1))));
     let _ = stream.set_write_timeout(Some(options.write_deadline.max(Duration::from_millis(1))));
@@ -197,6 +234,11 @@ fn serve_client(mut stream: TcpStream, registry: &MetricsRegistry, options: &Scr
         // harness can poll for "the endpoint is up" without paying for
         // (or parsing) a full scrape.
         "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+        // On-demand flight-recorder dump, when a handler is installed.
+        "/flight" => match flight {
+            Some(dump) => respond(&mut stream, 200, "application/json", &dump()),
+            None => respond(&mut stream, 404, "text/plain", "not found\n"),
+        },
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),
     }
 }
@@ -276,6 +318,28 @@ mod tests {
         assert!(json.contains("\"family\":\"serve\""));
         let missing = get(addr, "GET /other HTTP/1.0\r\n\r\n");
         assert!(missing.starts_with("HTTP/1.0 404"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn flight_route_serves_the_handler_or_404() {
+        let server = test_server(ScrapeOptions::default());
+        let missing = get(server.local_addr(), "GET /flight HTTP/1.0\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.0 404"), "no handler installed means 404");
+        server.shutdown();
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = ScrapeServer::spawn_with_flight(
+            "127.0.0.1:0".parse().unwrap(),
+            registry,
+            ScrapeOptions::default(),
+            Arc::new(|| "{\"reason\":\"demand\"}".to_string()),
+        )
+        .unwrap();
+        let dump = get(server.local_addr(), "GET /flight HTTP/1.0\r\n\r\n");
+        assert!(dump.starts_with("HTTP/1.0 200"));
+        assert!(dump.contains("application/json"));
+        assert!(dump.ends_with("{\"reason\":\"demand\"}"));
         server.shutdown();
     }
 

@@ -170,6 +170,45 @@ pub enum TraceEvent {
         /// Replica the lease now belongs to.
         to: u64,
     },
+    /// One scheduler turn (poll → dispatch → timers) completed on a
+    /// sharded-runtime worker — the flight recorder's heartbeat.
+    ShardTick {
+        /// Worker index of the shard.
+        shard: u64,
+        /// Timers still armed on the shard's wheel after the turn.
+        wheel_depth: u64,
+    },
+    /// A reactor timer fired noticeably past its deadline (emission is
+    /// thresholded by the recorder so on-time ticks do not flood the
+    /// ring).
+    TimerFired {
+        /// Worker index of the shard.
+        shard: u64,
+        /// Microseconds past the scheduled deadline.
+        lag_us: u64,
+    },
+    /// A shard's waker drained cross-shard wakeups.
+    Wakeup {
+        /// Worker index of the shard.
+        shard: u64,
+        /// Wake bytes that coalesced into this drain.
+        coalesced: u64,
+    },
+    /// A shard's control queue yielded its deepest drain so far.
+    QueueHighWatermark {
+        /// Worker index of the shard.
+        shard: u64,
+        /// Messages drained in the record-setting round.
+        depth: u64,
+    },
+    /// The stall watchdog saw a no-progress window: no node decoded
+    /// anything new for longer than the configured stall window.
+    StallDetected {
+        /// Worker index of the shard this event was recorded on.
+        shard: u64,
+        /// How long the swarm had made no progress, in milliseconds.
+        idle_ms: u64,
+    },
 }
 
 impl TraceEvent {
@@ -197,6 +236,11 @@ impl TraceEvent {
             TraceEvent::StoreEvicted { .. } => "store_evicted",
             TraceEvent::ReplicaFailover { .. } => "replica_failover",
             TraceEvent::LeaseReassigned { .. } => "lease_reassigned",
+            TraceEvent::ShardTick { .. } => "shard_tick",
+            TraceEvent::TimerFired { .. } => "timer_fired",
+            TraceEvent::Wakeup { .. } => "wakeup",
+            TraceEvent::QueueHighWatermark { .. } => "queue_high_watermark",
+            TraceEvent::StallDetected { .. } => "stall_detected",
         }
     }
 }

@@ -22,6 +22,7 @@
 //! the faults landed. For `--topology star`, the source defaults to a
 //! leaf so the hub actually relays (override with `--source`).
 
+use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -30,7 +31,8 @@ use ltnc_net::NodeOptions;
 use ltnc_scheme::SchemeKind;
 use ltnc_telemetry::json::JsonValue;
 use ltnc_topo::{
-    run_topology, SwarmRuntime, Topology, TopologyConfig, TopologyFaults, TopologyReport,
+    run_topology, FlightRecorder, SwarmRuntime, Topology, TopologyConfig, TopologyFaults,
+    TopologyReport,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -53,7 +55,35 @@ struct Args {
     /// default so the report carries first-delivery-by-hop times.
     trace_capacity: Option<usize>,
     report: Option<String>,
+    /// Which scheduler runs the nodes (`--runtime
+    /// threaded|sharded:<workers>`); sharded runs carry a per-shard
+    /// reactor rollup into the report.
+    runtime: SwarmRuntime,
+    /// Aggregated scrape endpoint for the whole swarm (`--metrics
+    /// ADDR`): one `/metrics` + `/metrics.json` no matter the node
+    /// count.
+    metrics: Option<SocketAddr>,
+    /// Arms the sharded runtime's stall watchdog (`--flight-dump
+    /// PATH`): a stalled or timed-out run writes its flight-recorder
+    /// post-mortem here.
+    flight_dump: Option<String>,
     smoke: bool,
+}
+
+/// `threaded`, `sharded` (4 workers), or `sharded:<workers>`.
+fn parse_runtime(name: &str) -> Result<SwarmRuntime, String> {
+    match name {
+        "threaded" => Ok(SwarmRuntime::Threaded),
+        "sharded" => Ok(SwarmRuntime::Sharded { workers: 4 }),
+        other => match other.strip_prefix("sharded:") {
+            Some(workers) => Ok(SwarmRuntime::Sharded {
+                workers: workers
+                    .parse()
+                    .map_err(|e| format!("--runtime sharded:<workers>: {e}"))?,
+            }),
+            None => Err(format!("unknown runtime {name} (threaded|sharded:<workers>)")),
+        },
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -86,6 +116,9 @@ fn parse_args() -> Result<Args, String> {
             .unwrap_or(0xF00D),
         trace_capacity: None,
         report: None,
+        runtime: SwarmRuntime::Threaded,
+        metrics: None,
+        flight_dump: None,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -135,6 +168,12 @@ fn parse_args() -> Result<Args, String> {
                     Some(value("--trace")?.parse().map_err(|e| format!("--trace: {e}"))?);
             }
             "--report" => args.report = Some(value("--report")?),
+            "--runtime" => args.runtime = parse_runtime(&value("--runtime")?)?,
+            "--metrics" => {
+                args.metrics =
+                    Some(value("--metrics")?.parse().map_err(|e| format!("--metrics: {e}"))?);
+            }
+            "--flight-dump" => args.flight_dump = Some(value("--flight-dump")?),
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
                 println!(
@@ -143,7 +182,9 @@ fn parse_args() -> Result<Args, String> {
                      [--degree D] [--source IDX] [--size BYTES] [--k K] [--m M] \
                      [--scheme wc|rlnc|ltnc] [--timeout SECS] [--loss RATE] \
                      [--reorder RATE] [--dup RATE] [--fault-seed N] \
-                     [--trace EVENTS] [--report PATH] [--smoke]"
+                     [--trace EVENTS] [--report PATH] \
+                     [--runtime threaded|sharded:<workers>] [--metrics ADDR] \
+                     [--flight-dump PATH] [--smoke]"
                 );
                 std::process::exit(0);
             }
@@ -217,6 +258,55 @@ fn latency_json(snapshot: &ltnc_metrics::LogHistogramSnapshot) -> JsonValue {
         .field("max", snapshot.quantile(1.0))
 }
 
+/// The scheduler-side sub-object a sharded run carries: per-shard
+/// reactor counters rolled into one total (poll-wait / dispatch /
+/// tick-lag percentiles included), plus per-shard turn and node counts
+/// so shard skew is readable at a glance.
+fn reactor_json(shards: &[ltnc_metrics::ReactorSnapshot]) -> JsonValue {
+    let mut total = ltnc_metrics::ReactorSnapshot::new();
+    for shard in shards {
+        total.merge(shard);
+    }
+    let histogram = |snapshot: &ltnc_metrics::LogHistogramSnapshot, unit: &str| {
+        JsonValue::object()
+            .field("unit", unit)
+            .field("count", snapshot.count())
+            .field("mean", snapshot.mean())
+            .field("p50", snapshot.p50())
+            .field("p99", snapshot.p99())
+            .field("max", snapshot.quantile(1.0))
+    };
+    let per_shard = shards
+        .iter()
+        .enumerate()
+        .map(|(shard, s)| {
+            JsonValue::object()
+                .field("shard", shard)
+                .field("nodes", s.nodes)
+                .field("turns", s.turns)
+                .field("timers_fired", s.timers_fired)
+        })
+        .collect();
+    JsonValue::object()
+        .field("shards", shards.len())
+        .field("nodes", total.nodes)
+        .field("turns", total.turns)
+        .field("polls", total.polls)
+        .field("poll_events", total.poll_events)
+        .field("wakeups", total.wakeups)
+        .field("wakeup_rounds", total.wakeup_rounds)
+        .field("control_messages", total.control_messages)
+        .field("control_high_watermark", total.control_high_watermark)
+        .field("readable_dispatches", total.readable_dispatches)
+        .field("timer_dispatches", total.timer_dispatches)
+        .field("control_dispatches", total.control_dispatches)
+        .field("timers_fired", total.timers_fired)
+        .field("poll_wait", histogram(&total.poll_wait_us, "us"))
+        .field("dispatch", histogram(&total.dispatch_ns, "ns"))
+        .field("tick_lag", histogram(&total.tick_lag_us, "us"))
+        .field("per_shard", JsonValue::array(per_shard))
+}
+
 /// Renders the run as a machine-readable document: the exact seeded
 /// configuration, then per scheme the swarm outcome, wire totals, the
 /// per-hop rollup, where each directed link's faults landed, and (when
@@ -235,7 +325,18 @@ fn render_report(args: &Args, source: usize, results: &[(SchemeKind, TopologyRep
         .field("reorder", args.reorder)
         .field("dup", args.dup)
         .field("fault_seed", args.fault_seed)
-        .field("trace_capacity", args.trace_capacity.map_or(JsonValue::Null, JsonValue::from));
+        .field("trace_capacity", args.trace_capacity.map_or(JsonValue::Null, JsonValue::from))
+        .field(
+            "runtime",
+            match args.runtime {
+                SwarmRuntime::Threaded => "threaded".to_string(),
+                SwarmRuntime::Sharded { workers } => format!("sharded:{workers}"),
+            },
+        )
+        .field(
+            "metrics_bind",
+            args.metrics.map_or(JsonValue::Null, |addr| JsonValue::from(addr.to_string())),
+        );
 
     let schemes = results
         .iter()
@@ -301,6 +402,14 @@ fn render_report(args: &Args, source: usize, results: &[(SchemeKind, TopologyRep
                 .field("relay_recoding_ops", report.relay_recoding_ops)
                 .field("latency", latency_json(&total_latency))
                 .field("latency_by_hop", JsonValue::array(latency_by_hop))
+                .field(
+                    "reactor",
+                    if report.swarm.reactor.is_empty() {
+                        JsonValue::Null
+                    } else {
+                        reactor_json(&report.swarm.reactor)
+                    },
+                )
                 .field("wire", wire)
                 .field("per_hop", JsonValue::array(per_hop))
                 .field("link_faults", JsonValue::array(link_faults))
@@ -365,6 +474,12 @@ fn main() -> ExitCode {
         args.dup * 100.0,
         args.fault_seed,
     );
+    if let SwarmRuntime::Sharded { workers } = args.runtime {
+        println!("runtime: sharded reactor, {workers} workers");
+    }
+    if let Some(addr) = args.metrics {
+        println!("aggregated scrape endpoint: http://{addr}/metrics (every node, one page)");
+    }
     println!();
     println!(
         "{:<5} {:>9} {:>5} {:>9} {:>11} {:>13} {:>13} {:>11} {:>9} {:>8}",
@@ -400,7 +515,12 @@ fn main() -> ExitCode {
             link_faults: link_faults.clone(),
             node_faults: None,
             trace_capacity: args.trace_capacity,
-            runtime: SwarmRuntime::Threaded,
+            runtime: args.runtime,
+            metrics_bind: args.metrics,
+            flight_recorder: args.flight_dump.as_ref().map(|path| FlightRecorder {
+                dump_path: Some(path.into()),
+                ..FlightRecorder::default()
+            }),
         };
         match run_topology(&config) {
             Ok(report) => {
@@ -420,6 +540,21 @@ fn main() -> ExitCode {
     for (scheme, report) in &results {
         println!("\nper-hop rollup ({}):", scheme.label());
         print!("{}", report.hops);
+        if !report.swarm.reactor.is_empty() {
+            let mut total = ltnc_metrics::ReactorSnapshot::new();
+            for shard in &report.swarm.reactor {
+                total.merge(shard);
+            }
+            println!(
+                "reactor: {} shards, {} turns, {} timers fired, poll-wait p99 {:.0}us, \
+                 dispatch p99 {:.0}ns",
+                report.swarm.reactor.len(),
+                total.turns,
+                total.timers_fired,
+                total.poll_wait_us.p99(),
+                total.dispatch_ns.p99(),
+            );
+        }
     }
 
     if let Some(path) = &args.report {

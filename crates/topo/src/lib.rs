@@ -49,6 +49,6 @@
 pub mod run;
 pub mod topology;
 
-pub use ltnc_net::swarm::SwarmRuntime;
+pub use ltnc_net::swarm::{FlightRecorder, SwarmRuntime};
 pub use run::{run_topology, TopologyConfig, TopologyFaults, TopologyReport};
 pub use topology::Topology;

@@ -11,11 +11,14 @@
 //! the relay recoding total.
 
 use std::io;
+use std::net::SocketAddr;
 use std::time::Duration;
 
 use ltnc_metrics::{HopCounters, HopStats, LogHistogramSnapshot};
 use ltnc_net::faults::{DatagramFaultCounters, DatagramFaultPlan, DatagramFaults};
-use ltnc_net::swarm::{run_wired_swarm, SwarmConfig, SwarmReport, SwarmRuntime, SwarmWiring};
+use ltnc_net::swarm::{
+    run_wired_swarm, FlightRecorder, SwarmConfig, SwarmReport, SwarmRuntime, SwarmWiring,
+};
 use ltnc_net::NodeOptions;
 use ltnc_scheme::SchemeKind;
 use ltnc_telemetry::TraceEvent;
@@ -118,6 +121,13 @@ pub struct TopologyConfig {
     /// 1000-node overlays practical on one machine. The lowering,
     /// harness, fault plans and reports are identical either way.
     pub runtime: SwarmRuntime,
+    /// One aggregated scrape endpoint for the whole overlay (see
+    /// [`SwarmConfig::metrics_bind`]): rolled-up wire counters, decoder
+    /// progress, and per-shard reactor families on the sharded runtime.
+    pub metrics_bind: Option<SocketAddr>,
+    /// Stall watchdog + flight recorder on the sharded runtime (see
+    /// [`SwarmConfig::flight_recorder`]).
+    pub flight_recorder: Option<FlightRecorder>,
 }
 
 impl TopologyConfig {
@@ -139,6 +149,8 @@ impl TopologyConfig {
             node_faults: None,
             trace_capacity: None,
             runtime: SwarmRuntime::Threaded,
+            metrics_bind: None,
+            flight_recorder: None,
         }
     }
 
@@ -313,6 +325,8 @@ pub fn run_topology(config: &TopologyConfig) -> io::Result<TopologyReport> {
         faults: config.node_faults,
         trace_capacity: config.trace_capacity,
         runtime: config.runtime,
+        metrics_bind: config.metrics_bind,
+        flight_recorder: config.flight_recorder.clone(),
     };
     let swarm = run_wired_swarm(&swarm_config, &wiring)?;
 

@@ -77,6 +77,8 @@ fn complete_topology_reproduces_legacy_swarm_behaviour_under_seeded_faults() {
             faults: Some(faults),
             trace_capacity: None,
             runtime: SwarmRuntime::Threaded,
+            metrics_bind: None,
+            flight_recorder: None,
         };
         let legacy = run_localhost_swarm(&legacy_config).expect("legacy swarm starts");
 
@@ -94,6 +96,8 @@ fn complete_topology_reproduces_legacy_swarm_behaviour_under_seeded_faults() {
             node_faults: Some(faults),
             trace_capacity: None,
             runtime: SwarmRuntime::Threaded,
+            metrics_bind: None,
+            flight_recorder: None,
         };
         let topo = run_topology(&topo_config).expect("topology run starts");
 

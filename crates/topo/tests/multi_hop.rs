@@ -53,6 +53,8 @@ fn lossy_config(
         node_faults: None,
         trace_capacity: None,
         runtime: SwarmRuntime::Threaded,
+        metrics_bind: None,
+        flight_recorder: None,
     }
 }
 

@@ -9,6 +9,11 @@
 //! degrees at 1000 nodes), and `nodes × degree` stays even as the
 //! construction requires.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
 use std::time::Duration;
 
 use ltnc_net::faults::DatagramFaultPlan;
@@ -18,6 +23,22 @@ use ltnc_topo::{run_topology, SwarmRuntime, Topology, TopologyConfig, TopologyFa
 
 const NODES: usize = 1000;
 const DEGREE: usize = 4;
+
+/// Reserves an ephemeral localhost port: bind, note, release.
+fn reserve_port() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    listener.local_addr().expect("local addr")
+}
+
+/// One best-effort HTTP/1.0 GET against the aggregated endpoint.
+fn scrape(addr: SocketAddr) -> Option<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    write!(stream, "GET /metrics HTTP/1.0\r\n\r\n").ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    Some(response.split_once("\r\n\r\n")?.1.to_string())
+}
 
 fn fault_seed() -> u64 {
     std::env::var("LTNC_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xF00D_u64)
@@ -49,8 +70,38 @@ fn thousand_node_k_regular_swarm_converges_bit_exactly_under_loss() {
         config.link_faults =
             TopologyFaults::uniform(DatagramFaultPlan::clean(seed).drop_rate(0.05));
         config.runtime = SwarmRuntime::Sharded { workers: 4 };
+        // One aggregated endpoint for all 1000 nodes, scraped mid-run by
+        // a sidecar thread — the scalable observability story this swarm
+        // size forces.
+        let metrics_addr = reserve_port();
+        config.metrics_bind = Some(metrics_addr);
+        let done = Arc::new(AtomicBool::new(false));
+        let scraper = {
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                let mut reactor_pages = 0u32;
+                while !done.load(Ordering::Acquire) {
+                    if let Some(page) = scrape(metrics_addr) {
+                        if page.contains("ltnc_reactor_turns") {
+                            reactor_pages += 1;
+                        }
+                    }
+                    thread::sleep(Duration::from_millis(200));
+                }
+                reactor_pages
+            })
+        };
 
         let report = run_topology(&config).expect("1000-node run starts");
+        done.store(true, Ordering::Release);
+        let reactor_pages = scraper.join().expect("scraper thread");
+        assert!(reactor_pages > 0, "{scheme:?}: no mid-run scrape carried ltnc_reactor_* samples");
+        assert_eq!(report.swarm.reactor.len(), 4, "{scheme:?}: one snapshot per shard");
+        assert_eq!(
+            report.swarm.reactor.iter().map(|s| s.nodes).sum::<u64>(),
+            NODES as u64,
+            "{scheme:?}: every node partitioned onto a shard"
+        );
         assert!(
             report.swarm.converged,
             "{scheme:?}: only {}/{} peers completed in {:?}",

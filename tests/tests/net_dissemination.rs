@@ -39,6 +39,8 @@ fn multi_generation_config(scheme: SchemeKind) -> SwarmConfig {
         faults: None,
         trace_capacity: None,
         runtime: SwarmRuntime::Threaded,
+        metrics_bind: None,
+        flight_recorder: None,
     }
 }
 
@@ -106,6 +108,8 @@ fn single_generation_object_and_tiny_payloads_work() {
         faults: None,
         trace_capacity: None,
         runtime: SwarmRuntime::Threaded,
+        metrics_bind: None,
+        flight_recorder: None,
     };
     let report = run_localhost_swarm(&config).expect("swarm should start");
     assert_eq!(report.generations, 1);
